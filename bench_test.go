@@ -1,0 +1,278 @@
+// Package vero_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md section 3 for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment at benchScale and
+// reports the experiment's headline quantities as custom metrics, so the
+// bench output is itself a compact version of the paper's tables. For the
+// full-size tables use cmd/benchtab.
+package vero_test
+
+import (
+	"testing"
+
+	"vero/internal/costmodel"
+	"vero/internal/experiments"
+	"vero/internal/partition"
+	"vero/internal/systems"
+)
+
+// benchScale shrinks instance counts so the full harness completes in
+// minutes on one machine; shapes are preserved (see EXPERIMENTS.md).
+const benchScale = 0.3
+
+// BenchmarkCostModelAge evaluates the Section 3.1.4 closed-form example
+// and reports the paper's headline numbers as metrics.
+func BenchmarkCostModelAge(b *testing.B) {
+	var r costmodel.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = costmodel.Analyze(costmodel.AgeExample())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.HistogramBytes)/(1<<20), "sizehist_MB")
+	b.ReportMetric(float64(r.HorizontalMemoryBytes)/(1<<30), "horiz_mem_GB")
+	b.ReportMetric(float64(r.VerticalMemoryBytes)/(1<<30), "vert_mem_GB")
+	b.ReportMetric(float64(r.HorizontalCommBytesPerTree)/(1<<30), "horiz_comm_GB")
+	b.ReportMetric(float64(r.VerticalCommBytesPerTree)/(1<<20), "vert_comm_MB")
+}
+
+// reportEndpoints emits the first/last workload's per-tree times for the
+// two systems of a Figure 10 panel.
+func reportEndpoints(b *testing.B, pts []experiments.Point) {
+	b.Helper()
+	if len(pts) < 2 {
+		return
+	}
+	first, last := pts[0].Workload, pts[len(pts)-1].Workload
+	for _, p := range pts {
+		if p.Workload != first && p.Workload != last {
+			continue
+		}
+		suffix := "_lo"
+		if p.Workload == last {
+			suffix = "_hi"
+		}
+		b.ReportMetric(p.CompSec*1e3, p.System+suffix+"_comp_ms")
+		b.ReportMetric(p.CommSec*1e3, p.System+suffix+"_comm_ms")
+	}
+}
+
+func benchFig10(b *testing.B, f func(float64) ([]experiments.Point, error)) {
+	var pts []experiments.Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = f(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportEndpoints(b, pts)
+}
+
+func BenchmarkFig10a(b *testing.B) { benchFig10(b, experiments.Fig10a) }
+func BenchmarkFig10b(b *testing.B) { benchFig10(b, experiments.Fig10b) }
+func BenchmarkFig10c(b *testing.B) { benchFig10(b, experiments.Fig10c) }
+func BenchmarkFig10d(b *testing.B) { benchFig10(b, experiments.Fig10d) }
+
+// BenchmarkFig10e reports the memory breakdown vs dimensionality.
+func BenchmarkFig10e(b *testing.B) {
+	var pts []experiments.Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig10e(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Workload == pts[len(pts)-1].Workload {
+			b.ReportMetric(p.HistMB, p.System+"_hist_MB")
+			b.ReportMetric(p.DataMB, p.System+"_data_MB")
+		}
+	}
+}
+
+// BenchmarkFig10f reports the memory breakdown vs class count.
+func BenchmarkFig10f(b *testing.B) {
+	var pts []experiments.Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig10f(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Workload == pts[len(pts)-1].Workload {
+			b.ReportMetric(p.HistMB, p.System+"_hist_MB")
+		}
+	}
+}
+
+func BenchmarkFig10g(b *testing.B) { benchFig10(b, experiments.Fig10g) }
+func BenchmarkFig10h(b *testing.B) { benchFig10(b, experiments.Fig10h) }
+
+// BenchmarkTable3 runs the end-to-end system comparison and reports each
+// high-dimensional dataset's slowdown factors relative to Vero.
+func BenchmarkTable3(b *testing.B) {
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Dataset {
+		case "rcv1", "synthesis", "rcv1-multi", "susy":
+			for _, s := range []systems.System{systems.XGBoost, systems.LightGBM, systems.DimBoost} {
+				if rel, ok := r.Relative[s]; ok {
+					b.ReportMetric(rel, r.Dataset+"_"+string(s)+"_xVero")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 runs the convergence-curve harness on one binary and one
+// multi-class dataset and reports each system's final metric.
+func BenchmarkFig11(b *testing.B) {
+	var curves []experiments.Curve
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"susy", "rcv1-multi"} {
+			cs, err := experiments.Fig11(name, 8, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			curves = append(curves, cs...)
+		}
+	}
+	for _, c := range curves[:min(8, len(curves))] {
+		if c.Err != "" || len(c.Points) == 0 {
+			continue
+		}
+		last := c.Points[len(c.Points)-1]
+		b.ReportMetric(last.Metric, c.Dataset+"_"+string(c.System)+"_final")
+	}
+}
+
+// BenchmarkTable4 runs the industrial-dataset comparison (10 Gbps model).
+func BenchmarkTable4(b *testing.B) {
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		for s, sec := range r.Seconds {
+			b.ReportMetric(sec*1e3, r.Dataset+"_"+string(s)+"_ms")
+		}
+	}
+}
+
+// BenchmarkTable5 runs the transformation-efficiency study.
+func BenchmarkTable5(b *testing.B) {
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Dataset != "synthesis" {
+			continue
+		}
+		b.ReportMetric(r.RepartitionMB[partition.VariantNaive], "naive_MB")
+		b.ReportMetric(r.RepartitionMB[partition.VariantCompressed], "compress_MB")
+		b.ReportMetric(r.RepartitionMB[partition.VariantBlockified], "vero_MB")
+	}
+}
+
+// BenchmarkTable6 runs the scalability sweep.
+func BenchmarkTable6(b *testing.B) {
+	var rows []experiments.Table6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Workers == 8 {
+			b.ReportMetric(r.Speedup, r.Dataset+"_speedup_w8")
+		}
+	}
+}
+
+// BenchmarkTable7 runs the Yggdrasil comparison.
+func BenchmarkTable7(b *testing.B) {
+	var rows []experiments.Table7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds[systems.Yggdrasil]*1e3, r.Dataset+"_yggdrasil_ms")
+		b.ReportMetric(r.Seconds[systems.QD3Hybrid]*1e3, r.Dataset+"_qd3_ms")
+		b.ReportMetric(r.Seconds[systems.Vero]*1e3, r.Dataset+"_vero_ms")
+	}
+}
+
+// BenchmarkTable8 runs the LightGBM data- vs feature-parallel comparison.
+func BenchmarkTable8(b *testing.B) {
+	var rows []experiments.Table8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table8(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds[systems.LightGBM]*1e3, r.Dataset+"_dp_ms")
+		b.ReportMetric(r.Seconds[systems.LightGBMFP]*1e3, r.Dataset+"_fp_ms")
+		b.ReportMetric(r.Seconds[systems.Vero]*1e3, r.Dataset+"_vero_ms")
+	}
+}
+
+// BenchmarkAblations measures the design-choice ablations of DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	var sub, comp experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		sub, err = experiments.AblationSubtraction(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp, err = experiments.AblationCompression(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sub.AblatedSec/sub.BaselineSec, "subtraction_speedup")
+	b.ReportMetric(comp.AblatedSec/comp.BaselineSec, "compression_speedup")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,262 @@
+// Command benchtab regenerates the tables and figures of "An Experimental
+// Evaluation of Large Scale GBDT Systems" on the simulated cluster and
+// prints them in the paper's layout.
+//
+// Usage:
+//
+//	benchtab -exp all            # everything (slow)
+//	benchtab -exp table3         # one experiment
+//	benchtab -exp fig10b -scale 0.5
+//
+// Experiments: costmodel, fig10a..fig10h, table3, fig11, table4, table5,
+// table6, table7, table8, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vero/internal/costmodel"
+	"vero/internal/experiments"
+	"vero/internal/partition"
+	"vero/internal/systems"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma-separated), or 'all'")
+	scale := flag.Float64("scale", 1.0, "instance-count scale factor")
+	fig11Data := flag.String("fig11", "susy,rcv1", "datasets for fig11 curves")
+	fig11Trees := flag.Int("trees", 10, "trees per fig11 curve")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("costmodel", func() error { return printCostModel() })
+	for _, panel := range []struct {
+		name string
+		f    func(float64) ([]experiments.Point, error)
+		mem  bool
+	}{
+		{"fig10a", experiments.Fig10a, false},
+		{"fig10b", experiments.Fig10b, false},
+		{"fig10c", experiments.Fig10c, false},
+		{"fig10d", experiments.Fig10d, false},
+		{"fig10e", experiments.Fig10e, true},
+		{"fig10f", experiments.Fig10f, true},
+		{"fig10g", experiments.Fig10g, false},
+		{"fig10h", experiments.Fig10h, false},
+	} {
+		panel := panel
+		run(panel.name, func() error {
+			pts, err := panel.f(*scale)
+			if err != nil {
+				return err
+			}
+			printPoints(pts, panel.mem)
+			return nil
+		})
+	}
+	run("table3", func() error { return printTable3(*scale) })
+	run("fig11", func() error { return printFig11(*fig11Data, *fig11Trees, *scale) })
+	run("table4", func() error { return printTable4(*scale) })
+	run("table5", func() error { return printTable5(*scale) })
+	run("table6", func() error { return printTable6(*scale) })
+	run("table7", func() error { return printTable7(*scale) })
+	run("table8", func() error { return printTable8(*scale) })
+	run("ablations", func() error { return printAblations(*scale) })
+}
+
+func printCostModel() error {
+	r, err := costmodel.Analyze(costmodel.AgeExample())
+	if err != nil {
+		return err
+	}
+	const MiB, GiB = float64(1 << 20), float64(1 << 30)
+	fmt.Println("Section 3.1.4 worked example (Age: N=48M, D=330K, C=9, W=8, L=8, q=20)")
+	fmt.Printf("  Sizehist per node:            %8.1f MB   (paper: ~906 MB)\n", float64(r.HistogramBytes)/MiB)
+	fmt.Printf("  horizontal memory per worker: %8.1f GB   (paper: 56.6 GB)\n", float64(r.HorizontalMemoryBytes)/GiB)
+	fmt.Printf("  vertical memory per worker:   %8.2f GB   (paper: 7.08 GB)\n", float64(r.VerticalMemoryBytes)/GiB)
+	fmt.Printf("  horizontal comm per tree:     %8.1f GB   (paper: ~900 GB)\n", float64(r.HorizontalCommBytesPerTree)/GiB)
+	fmt.Printf("  vertical comm per tree:       %8.1f MB   (paper: 366 MB)\n", float64(r.VerticalCommBytesPerTree)/MiB)
+	return nil
+}
+
+func printPoints(pts []experiments.Point, mem bool) {
+	if mem {
+		fmt.Printf("%-10s %-12s %12s %12s\n", "workload", "system", "hist (MB)", "data (MB)")
+		for _, p := range pts {
+			fmt.Printf("%-10s %-12s %12.2f %12.2f\n", p.Workload, p.System, p.HistMB, p.DataMB)
+		}
+		return
+	}
+	fmt.Printf("%-10s %-12s %12s %12s %12s\n", "workload", "system", "comp (s)", "comm (s)", "comm (MB)")
+	for _, p := range pts {
+		fmt.Printf("%-10s %-12s %12.4f %12.4f %12.3f\n", p.Workload, p.System, p.CompSec, p.CommSec, p.CommMB)
+	}
+}
+
+func printTable3(scale float64) error {
+	rows, err := experiments.Table3(scale)
+	if err != nil {
+		return err
+	}
+	ss := []systems.System{systems.XGBoost, systems.LightGBM, systems.DimBoost, systems.Vero}
+	fmt.Println("Average run time per tree scaled by Vero (Table 3; '-' = unsupported)")
+	fmt.Printf("%-16s", "dataset")
+	for _, s := range ss {
+		fmt.Printf(" %12s", s)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-16s", r.Dataset)
+		for _, s := range ss {
+			if _, bad := r.Errs[s]; bad {
+				fmt.Printf(" %12s", "-")
+			} else {
+				fmt.Printf(" %12.2f", r.Relative[s])
+			}
+		}
+		fmt.Printf("   (vero: %.3fs/tree)\n", r.Seconds[systems.Vero])
+	}
+	return nil
+}
+
+func printFig11(names string, trees int, scale float64) error {
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		curves, err := experiments.Fig11(name, trees, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("convergence on %s (validation %s vs simulated seconds)\n", name, curves[0].MetricName)
+		for _, c := range curves {
+			if c.Err != "" {
+				fmt.Printf("  %-12s unsupported: %s\n", c.System, c.Err)
+				continue
+			}
+			fmt.Printf("  %-12s", c.System)
+			for _, p := range c.Points {
+				fmt.Printf(" (%.2fs, %.4f)", p.Seconds, p.Metric)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func printTable4(scale float64) error {
+	rows, err := experiments.Table4(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Industrial datasets, run time per tree in seconds (Table 4, 10 Gbps)")
+	for _, r := range rows {
+		fmt.Printf("%-8s", r.Dataset)
+		for _, s := range []systems.System{systems.XGBoost, systems.DimBoost, systems.Vero} {
+			if sec, ok := r.Seconds[s]; ok {
+				fmt.Printf("  %s=%.3fs", s, sec)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printTable5(scale float64) error {
+	rows, err := experiments.Table5(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Transformation cost (Table 5): simulated network seconds / volume MB")
+	fmt.Printf("%-12s %10s %10s %22s %22s %22s %10s\n",
+		"dataset", "sketch(s)", "splits(s)", "naive", "compress", "vero", "labels(s)")
+	for _, r := range rows {
+		fmt.Printf("%-12s %10.3f %10.3f %12.3fs/%6.1fMB %12.3fs/%6.1fMB %12.3fs/%6.1fMB %10.3f\n",
+			r.Dataset, r.LoadSeconds, r.SplitsSeconds,
+			r.RepartitionSec[partition.VariantNaive], r.RepartitionMB[partition.VariantNaive],
+			r.RepartitionSec[partition.VariantCompressed], r.RepartitionMB[partition.VariantCompressed],
+			r.RepartitionSec[partition.VariantBlockified], r.RepartitionMB[partition.VariantBlockified],
+			r.LabelSeconds)
+	}
+	return nil
+}
+
+func printTable6(scale float64) error {
+	rows, err := experiments.Table6(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Scalability of Vero (Table 6)")
+	fmt.Printf("%-16s %8s %12s %8s\n", "dataset", "workers", "sec/tree", "speedup")
+	for _, r := range rows {
+		fmt.Printf("%-16s %8d %12.3f %8.2f\n", r.Dataset, r.Workers, r.Seconds, r.Speedup)
+	}
+	return nil
+}
+
+func printTable7(scale float64) error {
+	rows, err := experiments.Table7(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Yggdrasil comparison (Table 7), seconds per tree")
+	fmt.Printf("%-10s %12s %12s %12s\n", "dataset", "yggdrasil", "qd3(ours)", "vero")
+	for _, r := range rows {
+		fmt.Printf("%-10s %12.3f %12.3f %12.3f\n", r.Dataset,
+			r.Seconds[systems.Yggdrasil], r.Seconds[systems.QD3Hybrid], r.Seconds[systems.Vero])
+	}
+	return nil
+}
+
+func printTable8(scale float64) error {
+	rows, err := experiments.Table8(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("LightGBM comparison (Table 8), seconds per tree / data MB per worker")
+	fmt.Printf("%-12s %20s %20s %20s\n", "dataset", "lightgbm(DP)", "lightgbm(FP)", "vero")
+	for _, r := range rows {
+		f := func(s systems.System) string {
+			return fmt.Sprintf("%.3fs/%.1fMB", r.Seconds[s], r.DataMB[s])
+		}
+		fmt.Printf("%-12s %20s %20s %20s\n", r.Dataset,
+			f(systems.LightGBM), f(systems.LightGBMFP), f(systems.Vero))
+	}
+	return nil
+}
+
+func printAblations(scale float64) error {
+	fmt.Println("Design-choice ablations (DESIGN.md index)")
+	sub, err := experiments.AblationSubtraction(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-32s enabled=%.4fs  disabled=%.4fs\n", sub.Name, sub.BaselineSec, sub.AblatedSec)
+	comp, err := experiments.AblationCompression(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-32s blockified=%.4fs  naive=%.4fs\n", comp.Name, comp.BaselineSec, comp.AblatedSec)
+	lb, err := experiments.AblationLoadBalance(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-32s greedy-max-load=%.0f  round-robin-max-load=%.0f\n", lb.Name, lb.BaselineSec, lb.AblatedSec)
+	return nil
+}

@@ -1,0 +1,216 @@
+// Command veroctl trains, evaluates and applies GBDT models on LibSVM
+// files with any of the paper's data-management policies.
+//
+// Usage:
+//
+//	veroctl train -data train.libsvm -classes 2 -system vero -model model.json
+//	veroctl eval  -data valid.libsvm -classes 2 -model model.json
+//	veroctl predict -data test.libsvm -classes 2 -model model.json
+//	veroctl systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vero/gbdt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "systems":
+		for _, s := range gbdt.Systems() {
+			fmt.Printf("%-12s %s\n", s, gbdt.DescribeSystem(s))
+		}
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veroctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: veroctl <train|eval|predict|advise|systems> [flags]
+run "veroctl <command> -h" for command flags`)
+}
+
+// cmdAdvise implements the paper's future work: recommend a
+// data-management policy for a workload and environment (Section 6).
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	n := fs.Int64("n", 0, "instances")
+	d := fs.Int64("d", 0, "features")
+	c := fs.Int64("c", 1, "classes (1 = binary/regression)")
+	w := fs.Int64("workers", 8, "workers")
+	layers := fs.Int64("layers", 8, "tree layers (L)")
+	splits := fs.Int64("splits", 20, "candidate splits (q)")
+	nnz := fs.Float64("nnz", 0, "average nonzeros per row (default: dense)")
+	tenGig := fs.Bool("10g", false, "10 Gbps network (default 1 Gbps)")
+	memGB := fs.Float64("mem", 0, "per-worker memory budget in GB (0 = unlimited)")
+	data := fs.String("data", "", "infer shape from a LibSVM file instead")
+	classes := fs.Int("classes", 2, "classes for -data")
+	fs.Parse(args)
+
+	net := gbdt.Gigabit()
+	if *tenGig {
+		net = gbdt.TenGigabit()
+	}
+	var (
+		advice gbdt.Advice
+		err    error
+	)
+	if *data != "" {
+		ds, rerr := gbdt.ReadLibSVMFile(*data, *classes)
+		if rerr != nil {
+			return rerr
+		}
+		advice, err = gbdt.AdviseDataset(ds, int(*w), net)
+	} else {
+		if *n <= 0 || *d <= 0 {
+			return fmt.Errorf("provide -n and -d, or -data")
+		}
+		advice, err = gbdt.Advise(gbdt.AdvisorWorkload{
+			N: *n, D: *d, C: *c, W: *w, L: *layers, Q: *splits,
+			NNZPerRow:            *nnz,
+			Net:                  net,
+			MemoryPerWorkerBytes: int64(*memGB * (1 << 30)),
+		})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recommendation: QD%d (%s partitioning + %s-store) -> system %q\n",
+		advice.Quadrant, advice.Partitioning, advice.Storage, advice.System)
+	fmt.Printf("  modeled comm/tree: horizontal %.4fs, vertical %.4fs\n",
+		advice.HorizontalCommSecPerTree, advice.VerticalCommSecPerTree)
+	fmt.Printf("  modeled histogram memory/worker: horizontal %.2f GB, vertical %.2f GB\n",
+		float64(advice.HorizontalMemBytes)/(1<<30), float64(advice.VerticalMemBytes)/(1<<30))
+	fmt.Printf("  why: %s\n", advice.Rationale)
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "", "training data (LibSVM)")
+	classes := fs.Int("classes", 2, "1=regression, 2=binary, >2=multi-class")
+	system := fs.String("system", "vero", "GBDT system (see 'veroctl systems')")
+	workers := fs.Int("workers", 8, "simulated workers")
+	trees := fs.Int("trees", 100, "number of trees (T)")
+	layers := fs.Int("layers", 8, "tree layers (L)")
+	splits := fs.Int("splits", 20, "candidate splits (q)")
+	eta := fs.Float64("eta", 0.3, "learning rate")
+	lambda := fs.Float64("lambda", 1.0, "L2 regularization")
+	gamma := fs.Float64("gamma", 0.0, "per-leaf penalty")
+	model := fs.String("model", "model.json", "output model path")
+	verbose := fs.Bool("v", false, "per-tree progress")
+	fs.Parse(args)
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	ds, err := gbdt.ReadLibSVMFile(*data, *classes)
+	if err != nil {
+		return err
+	}
+	opts := gbdt.Options{
+		System: gbdt.System(*system), Workers: *workers,
+		Trees: *trees, Layers: *layers, Splits: *splits,
+		LearningRate: *eta, Lambda: *lambda, Gamma: *gamma,
+	}
+	if *verbose {
+		opts.OnTree = func(i int, elapsed float64, _ *gbdt.Tree) {
+			fmt.Printf("tree %3d  simulated elapsed %.3fs\n", i, elapsed)
+		}
+	}
+	m, report, err := gbdt.Train(ds, opts)
+	if err != nil {
+		return err
+	}
+	enc, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*model, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d trees on %d x %d (%s)\n", m.NumTrees(), ds.NumInstances(), ds.NumFeatures(), *system)
+	fmt.Printf("simulated: comp %.3fs  comm %.3fs  prep %.3fs  comm volume %.1f MB\n",
+		report.CompSeconds, report.CommSeconds, report.PrepSeconds, float64(report.CommBytes)/(1<<20))
+	fmt.Printf("model written to %s\n", *model)
+	return nil
+}
+
+func loadModelAndData(fs *flag.FlagSet, args []string) (*gbdt.Model, *gbdt.Dataset, error) {
+	data := fs.String("data", "", "data file (LibSVM)")
+	classes := fs.Int("classes", 2, "1=regression, 2=binary, >2=multi-class")
+	model := fs.String("model", "model.json", "model path")
+	fs.Parse(args)
+	if *data == "" {
+		return nil, nil, fmt.Errorf("-data is required")
+	}
+	enc, err := os.ReadFile(*model)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := gbdt.DecodeModel(enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := gbdt.ReadLibSVMFile(*data, *classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ds, nil
+}
+
+func cmdEval(args []string) error {
+	m, ds, err := loadModelAndData(flag.NewFlagSet("eval", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	switch {
+	case ds.NumClass == 1:
+		fmt.Printf("rmse: %.6f\n", gbdt.RMSE(m, ds))
+	case ds.NumClass == 2:
+		fmt.Printf("auc: %.6f  accuracy: %.6f  logloss: %.6f\n",
+			gbdt.AUC(m, ds), gbdt.Accuracy(m, ds), gbdt.LogLoss(m, ds))
+	default:
+		fmt.Printf("accuracy: %.6f  logloss: %.6f\n", gbdt.Accuracy(m, ds), gbdt.LogLoss(m, ds))
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	m, ds, err := loadModelAndData(flag.NewFlagSet("predict", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	scores := m.Predict(ds)
+	stride := len(scores) / ds.NumInstances()
+	for i := 0; i < ds.NumInstances(); i++ {
+		for k := 0; k < stride; k++ {
+			if k > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%g", scores[i*stride+k])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package gbdt
+
+import (
+	"fmt"
+
+	"vero/internal/advisor"
+	"vero/internal/cluster"
+	"vero/internal/core"
+	"vero/internal/loss"
+	"vero/internal/systems"
+	"vero/internal/tree"
+)
+
+// Model introspection.
+
+// ImportanceKind selects how feature importance is aggregated: "gain"
+// (summed split gains, Equation 2) or "split" (split counts).
+type ImportanceKind = tree.ImportanceKind
+
+// Importance kinds.
+const (
+	ImportanceGain  = tree.ImportanceGain
+	ImportanceSplit = tree.ImportanceSplit
+)
+
+// RankedFeature is one entry of a sorted importance report.
+type RankedFeature = tree.RankedFeature
+
+// FeatureImportance aggregates importance over the model's trees.
+func (m *Model) FeatureImportance(kind ImportanceKind) (map[int32]float64, error) {
+	return m.forest.FeatureImportance(kind)
+}
+
+// TopFeatures returns the k most important features.
+func (m *Model) TopFeatures(kind ImportanceKind, k int) ([]RankedFeature, error) {
+	return m.forest.TopFeatures(kind, k)
+}
+
+// DumpTree renders tree i as an indented text diagram.
+func (m *Model) DumpTree(i int) (string, error) {
+	if i < 0 || i >= len(m.forest.Trees) {
+		return "", fmt.Errorf("gbdt: tree %d out of range (%d trees)", i, len(m.forest.Trees))
+	}
+	return m.forest.Trees[i].Dump(), nil
+}
+
+// ModelStats summarizes a trained forest.
+type ModelStats = tree.Stats
+
+// Summarize computes forest statistics (node/leaf counts, depth, gains).
+func (m *Model) Summarize() ModelStats { return m.forest.Summarize() }
+
+// Early stopping.
+
+// TrainWithEarlyStopping trains like Train but monitors a validation set
+// and stops when the metric (AUC for binary, accuracy for multi-class,
+// RMSE for regression) has not improved for `patience` consecutive trees.
+// It returns the model truncated to the best iteration.
+func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (*Model, *Report, error) {
+	if patience <= 0 {
+		return nil, nil, fmt.Errorf("gbdt: patience %d", patience)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 8
+	}
+	if opts.Network == (NetworkModel{}) {
+		opts.Network = Gigabit()
+	}
+	if opts.System == "" {
+		opts.System = SystemVero
+	}
+	numClass := 1
+	if train.NumClass > 2 {
+		numClass = train.NumClass
+	}
+	eta := opts.LearningRate
+	if eta == 0 {
+		eta = 0.3
+	}
+	margins := make([]float64, valid.NumInstances()*numClass)
+	higherBetter := train.NumClass >= 2
+	best := -1.0
+	if !higherBetter {
+		best = 1e300 // RMSE: lower is better
+	}
+	bestIter := -1
+	sinceBest := 0
+	userOnTree := opts.OnTree
+
+	cl := cluster.New(opts.Workers, opts.Network)
+	base := core.Config{
+		Trees:        opts.Trees,
+		Layers:       opts.Layers,
+		Splits:       opts.Splits,
+		LearningRate: opts.LearningRate,
+		Lambda:       opts.Lambda,
+		Gamma:        opts.Gamma,
+		MinChildHess: opts.MinChildHess,
+		Objective:    opts.Objective,
+		Seed:         opts.Seed,
+	}
+	base.OnTree = func(i int, elapsed float64, tr *tree.Tree) {
+		for r := 0; r < valid.NumInstances(); r++ {
+			feat, val := valid.X.Row(r)
+			tr.Predict(feat, val, eta, margins[r*numClass:(r+1)*numClass])
+		}
+		var metric float64
+		switch {
+		case numClass > 1:
+			metric = loss.MultiAccuracy(margins, valid.Labels, numClass)
+		case train.NumClass == 2:
+			metric = loss.AUC(margins, valid.Labels)
+		default:
+			metric = loss.RMSE(margins, valid.Labels)
+		}
+		improved := metric > best
+		if !higherBetter {
+			improved = metric < best
+		}
+		if improved {
+			best = metric
+			bestIter = i
+			sinceBest = 0
+		} else {
+			sinceBest++
+		}
+		if userOnTree != nil {
+			userOnTree(i, elapsed, tr)
+		}
+	}
+	base.ShouldStop = func(int) bool { return sinceBest >= patience }
+
+	res, err := systems.Train(cl, train, opts.System, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Truncate to the best iteration.
+	if bestIter >= 0 && bestIter+1 < len(res.Forest.Trees) {
+		res.Forest.Trees = res.Forest.Trees[:bestIter+1]
+	}
+	_, _, bytes := cl.Stats().Totals()
+	report := &Report{
+		PerTreeSeconds:     res.PerTreeSeconds,
+		CompSeconds:        res.CompSeconds,
+		CommSeconds:        res.CommSeconds,
+		PrepSeconds:        res.PrepSeconds,
+		CommBytes:          bytes,
+		HistogramPeakBytes: cl.Stats().Mem("histogram").MaxPeak(),
+		DataBytes:          cl.Stats().Mem("data").MaxPeak(),
+		TransformBytes:     res.TransformBytes,
+	}
+	return &Model{forest: res.Forest}, report, nil
+}
+
+// Advisor: the paper's future work (Section 6) — choose a data-management
+// policy from the workload and environment.
+
+// AdvisorWorkload describes a job for Advise.
+type AdvisorWorkload = advisor.Workload
+
+// Advice is the advisor's recommendation.
+type Advice = advisor.Recommendation
+
+// Advise recommends a data-management policy (quadrant and system) for a
+// workload, using the paper's cost model and decision matrix (Table 1).
+func Advise(w AdvisorWorkload) (Advice, error) { return advisor.Recommend(w) }
+
+// AdviseDataset recommends a policy for a concrete dataset on a cluster of
+// the given size and network.
+func AdviseDataset(ds *Dataset, workers int, net NetworkModel) (Advice, error) {
+	c := int64(1)
+	if ds.NumClass > 2 {
+		c = int64(ds.NumClass)
+	}
+	return advisor.Recommend(advisor.Workload{
+		N:         int64(ds.NumInstances()),
+		D:         int64(ds.NumFeatures()),
+		C:         c,
+		W:         int64(workers),
+		NNZPerRow: float64(ds.X.NNZ()) / float64(max(1, ds.NumInstances())),
+		Net:       net,
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

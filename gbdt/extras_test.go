@@ -1,0 +1,120 @@
+package gbdt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeatureImportanceAPI(t *testing.T) {
+	m, _, _, _ := quickTrain(t, SystemVero)
+	imp, err := m.FeatureImportance(ImportanceGain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) == 0 {
+		t.Fatal("no features ranked")
+	}
+	top, err := m.TopFeatures(ImportanceSplit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 || top[0].Score <= 0 {
+		t.Fatalf("top = %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatal("top features not sorted")
+		}
+	}
+}
+
+func TestDumpTreeAPI(t *testing.T) {
+	m, _, _, _ := quickTrain(t, SystemLightGBM)
+	d, err := m.DumpTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d, "leaf") {
+		t.Fatalf("dump has no leaves:\n%s", d)
+	}
+	if _, err := m.DumpTree(99); err == nil {
+		t.Fatal("out-of-range tree accepted")
+	}
+}
+
+func TestSummarizeAPI(t *testing.T) {
+	m, _, _, _ := quickTrain(t, SystemVero)
+	s := m.Summarize()
+	if s.NumTrees != 5 || s.TotalLeaves < 5 || s.MaxDepth < 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{N: 2000, D: 30, C: 2, InformativeRatio: 0.4, Density: 0.4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid := ds.Split(0.8, 10)
+	m, _, err := TrainWithEarlyStopping(train, valid, Options{
+		System: SystemLightGBM, Workers: 2, Trees: 40, Layers: 4, Splits: 8,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() == 0 {
+		t.Fatal("no trees")
+	}
+	if m.NumTrees() == 40 {
+		t.Log("note: early stopping never triggered in 40 trees")
+	}
+	if auc := AUC(m, valid); auc < 0.7 {
+		t.Fatalf("early-stopped AUC = %v", auc)
+	}
+	if _, _, err := TrainWithEarlyStopping(train, valid, Options{}, 0); err == nil {
+		t.Fatal("patience 0 accepted")
+	}
+}
+
+func TestEarlyStoppingRegression(t *testing.T) {
+	ds, err := SyntheticRegression(1200, 15, 0.5, 0.2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid := ds.Split(0.8, 11)
+	m, _, err := TrainWithEarlyStopping(train, valid, Options{
+		System: SystemLightGBM, Workers: 2, Trees: 30, Layers: 4, Splits: 8, Objective: "square",
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() == 0 {
+		t.Fatal("no trees")
+	}
+}
+
+func TestAdviseAPI(t *testing.T) {
+	a, err := Advise(AdvisorWorkload{N: 697_000, D: 47_000, C: 1, W: 5, NNZPerRow: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.System != "vero" {
+		t.Fatalf("advised %s for rcv1-shaped workload", a.System)
+	}
+	ds, err := NamedDataset("susy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SUSY's simulacrum keeps the paper shape's low dimensionality; at
+	// paper scale the advisor picks horizontal row-store.
+	a, err = Advise(AdvisorWorkload{N: 5_000_000, D: int64(ds.NumFeatures()), C: 1, W: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Partitioning != "horizontal" {
+		t.Fatalf("advised %s for susy-shaped workload: %s", a.Partitioning, a.Rationale)
+	}
+	if _, err := AdviseDataset(ds, 4, Gigabit()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package gbdt is the public API of the Vero reproduction: distributed
+// gradient-boosted decision trees under the four data-management quadrants
+// of "An Experimental Evaluation of Large Scale GBDT Systems" (VLDB 2019).
+//
+// Training runs on a simulated cluster: workers execute real computation
+// while communication is metered byte-exactly and converted to simulated
+// time under a configurable network model. The quickstart:
+//
+//	ds, _ := gbdt.Synthetic(gbdt.SyntheticConfig{N: 10000, D: 100, C: 2,
+//	        InformativeRatio: 0.2, Density: 0.2, Seed: 1})
+//	train, valid := ds.Split(0.8, 1)
+//	model, report, _ := gbdt.Train(train, gbdt.Options{
+//	        System: gbdt.SystemVero, Workers: 8, Trees: 20})
+//	fmt.Println(report.PerTreeSeconds, gbdt.AUC(model, valid))
+package gbdt
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vero/internal/cluster"
+	"vero/internal/core"
+	"vero/internal/costmodel"
+	"vero/internal/datasets"
+	"vero/internal/loss"
+	"vero/internal/partition"
+	"vero/internal/systems"
+	"vero/internal/tree"
+)
+
+// Dataset is a feature matrix with labels. Construct one with Synthetic,
+// NamedDataset or ReadLibSVM.
+type Dataset = datasets.Dataset
+
+// SyntheticConfig parametrizes the paper's synthetic data generator.
+type SyntheticConfig = datasets.SyntheticConfig
+
+// Synthetic generates a classification dataset from random linear models
+// (Section 5.2 of the paper).
+func Synthetic(cfg SyntheticConfig) (*Dataset, error) { return datasets.Synthetic(cfg) }
+
+// SyntheticRegression generates a regression dataset y = x.w + noise.
+func SyntheticRegression(n, d int, density, noise float64, seed int64) (*Dataset, error) {
+	return datasets.SyntheticRegression(n, d, density, noise, seed)
+}
+
+// NamedDataset generates the scaled simulacrum of one of the paper's
+// datasets (Table 2 / Section 6): susy, higgs, criteo, epsilon, rcv1,
+// synthesis, rcv1-multi, synthesis-multi, gender, age, taste.
+func NamedDataset(name string, seed int64) (*Dataset, error) { return datasets.Load(name, seed) }
+
+// DatasetCatalog lists the paper's datasets with their original and
+// simulated shapes.
+func DatasetCatalog() []datasets.Descriptor { return datasets.Catalog() }
+
+// ReadLibSVM parses LibSVM-format data. numClass is 1 for regression, 2
+// for binary classification, >2 for multi-class.
+func ReadLibSVM(r io.Reader, numClass int) (*Dataset, error) {
+	return datasets.ReadLibSVM(r, numClass)
+}
+
+// ReadLibSVMFile reads a LibSVM file from disk.
+func ReadLibSVMFile(path string, numClass int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gbdt: %w", err)
+	}
+	defer f.Close()
+	return datasets.ReadLibSVM(f, numClass)
+}
+
+// WriteLibSVM writes a dataset in LibSVM format.
+func WriteLibSVM(w io.Writer, ds *Dataset) error { return datasets.WriteLibSVM(w, ds) }
+
+// System selects one of the evaluated GBDT systems.
+type System = systems.System
+
+// The systems of the paper's evaluation.
+const (
+	SystemXGBoost    = systems.XGBoost
+	SystemLightGBM   = systems.LightGBM
+	SystemLightGBMFP = systems.LightGBMFP
+	SystemDimBoost   = systems.DimBoost
+	SystemYggdrasil  = systems.Yggdrasil
+	SystemQD3        = systems.QD3Hybrid
+	SystemVero       = systems.Vero
+)
+
+// Systems returns every available system.
+func Systems() []System { return systems.All() }
+
+// DescribeSystem summarizes a system's data-management policy.
+func DescribeSystem(s System) string { return systems.Describe(s) }
+
+// NetworkModel converts communication volume to simulated time.
+type NetworkModel = cluster.NetworkModel
+
+// Gigabit is the paper's laboratory network (Section 5.1).
+func Gigabit() NetworkModel { return cluster.Gigabit() }
+
+// TenGigabit is the paper's production network (Section 6).
+func TenGigabit() NetworkModel { return cluster.TenGigabit() }
+
+// Options configures a training run.
+type Options struct {
+	// System picks the data-management policy (default SystemVero).
+	System System
+	// Workers is the simulated cluster size W (default 8, the paper's
+	// laboratory cluster).
+	Workers int
+	// Network is the cluster's network model (default Gigabit).
+	Network NetworkModel
+
+	// Trees (T, default 100), Layers (L, default 8) and Splits (q,
+	// default 20) follow Section 5.1.
+	Trees  int
+	Layers int
+	Splits int
+
+	LearningRate float64 // default 0.3
+	Lambda       float64 // default 1
+	Gamma        float64
+	MinChildHess float64
+
+	// Objective is "square", "logistic" or "softmax"; inferred from the
+	// dataset when empty.
+	Objective string
+
+	Seed int64
+
+	// OnTree is invoked after each tree with the cumulative simulated
+	// time and the new tree.
+	OnTree func(treeIdx int, elapsedSec float64, tr *Tree)
+}
+
+// Tree is a single decision tree of a trained model.
+type Tree = tree.Tree
+
+// Model is a trained GBDT forest.
+type Model struct {
+	forest *tree.Forest
+}
+
+// Forest exposes the underlying forest.
+func (m *Model) Forest() *tree.Forest { return m.forest }
+
+// NumTrees returns the number of trees.
+func (m *Model) NumTrees() int { return m.forest.NumTrees() }
+
+// PredictRow returns raw scores (margins) for one sparse row.
+func (m *Model) PredictRow(feat []uint32, val []float32) []float64 {
+	return m.forest.PredictRow(feat, val)
+}
+
+// Predict returns raw scores for every instance of ds, row-major with
+// stride NumClass.
+func (m *Model) Predict(ds *Dataset) []float64 { return m.forest.PredictCSR(ds.X) }
+
+// Encode serializes the model to JSON.
+func (m *Model) Encode() ([]byte, error) { return m.forest.Encode() }
+
+// DecodeModel parses a model serialized with Encode.
+func DecodeModel(data []byte) (*Model, error) {
+	f, err := tree.DecodeForest(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{forest: f}, nil
+}
+
+// Report summarizes a training run: per-tree simulated time and the
+// computation/communication breakdown the paper's figures report.
+type Report struct {
+	PerTreeSeconds []float64
+	CompSeconds    float64
+	CommSeconds    float64
+	PrepSeconds    float64
+	// CommBytes is the total communication volume.
+	CommBytes int64
+	// HistogramPeakBytes is the largest per-worker histogram memory.
+	HistogramPeakBytes int64
+	// DataBytes is the largest per-worker data-shard memory.
+	DataBytes int64
+	// TransformBytes reports the Vero transformation volumes (QD4 only).
+	TransformBytes partition.ByteReport
+}
+
+// Train fits a GBDT model to the dataset.
+func Train(ds *Dataset, opts Options) (*Model, *Report, error) {
+	if opts.Workers == 0 {
+		opts.Workers = 8
+	}
+	if opts.Network == (NetworkModel{}) {
+		opts.Network = Gigabit()
+	}
+	if opts.System == "" {
+		opts.System = SystemVero
+	}
+	cl := cluster.New(opts.Workers, opts.Network)
+	base := core.Config{
+		Trees:        opts.Trees,
+		Layers:       opts.Layers,
+		Splits:       opts.Splits,
+		LearningRate: opts.LearningRate,
+		Lambda:       opts.Lambda,
+		Gamma:        opts.Gamma,
+		MinChildHess: opts.MinChildHess,
+		Objective:    opts.Objective,
+		Seed:         opts.Seed,
+		OnTree:       opts.OnTree,
+	}
+	res, err := systems.Train(cl, ds, opts.System, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, _, bytes := cl.Stats().Totals()
+	report := &Report{
+		PerTreeSeconds:     res.PerTreeSeconds,
+		CompSeconds:        res.CompSeconds,
+		CommSeconds:        res.CommSeconds,
+		PrepSeconds:        res.PrepSeconds,
+		CommBytes:          bytes,
+		HistogramPeakBytes: cl.Stats().Mem("histogram").MaxPeak(),
+		DataBytes:          cl.Stats().Mem("data").MaxPeak(),
+		TransformBytes:     res.TransformBytes,
+	}
+	return &Model{forest: res.Forest}, report, nil
+}
+
+// Evaluation metrics.
+
+// AUC evaluates a binary model's area under the ROC curve on a dataset.
+func AUC(m *Model, ds *Dataset) float64 {
+	return loss.AUC(m.Predict(ds), ds.Labels)
+}
+
+// Accuracy evaluates classification accuracy (binary threshold at margin
+// zero, multi-class by argmax).
+func Accuracy(m *Model, ds *Dataset) float64 {
+	scores := m.Predict(ds)
+	if m.forest.NumClass > 1 {
+		return loss.MultiAccuracy(scores, ds.Labels, m.forest.NumClass)
+	}
+	return loss.BinaryAccuracy(scores, ds.Labels)
+}
+
+// RMSE evaluates regression root-mean-square error.
+func RMSE(m *Model, ds *Dataset) float64 {
+	return loss.RMSE(m.Predict(ds), ds.Labels)
+}
+
+// LogLoss evaluates cross-entropy (binary or multi-class).
+func LogLoss(m *Model, ds *Dataset) float64 {
+	scores := m.Predict(ds)
+	if m.forest.NumClass > 1 {
+		return loss.MultiLogLoss(scores, ds.Labels, m.forest.NumClass)
+	}
+	return loss.LogLoss(scores, ds.Labels)
+}
+
+// Cost model (Section 3.1).
+
+// CostWorkload is a workload in the paper's notation.
+type CostWorkload = costmodel.Workload
+
+// CostReport holds the closed-form memory and communication estimates.
+type CostReport = costmodel.Report
+
+// AnalyzeCost evaluates the paper's cost model on a workload.
+func AnalyzeCost(w CostWorkload) (CostReport, error) { return costmodel.Analyze(w) }
+
+// AgeExampleWorkload returns the Section 3.1.4 worked example.
+func AgeExampleWorkload() CostWorkload { return costmodel.AgeExample() }

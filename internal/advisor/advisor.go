@@ -1,0 +1,176 @@
+// Package advisor implements the paper's stated future work (Section 6):
+// "How to determine an optimal dataset management strategy given the size
+// of dataset (number of instances, feature dimensionality and number of
+// classes) along with the application environment (network bandwidth,
+// number of machines) is remained unsolved."
+//
+// The advisor combines the paper's findings:
+//
+//   - the closed-form communication/memory model of Section 3.1
+//     (histogram aggregation vs placement broadcast),
+//   - the computation analysis of Section 3.2 (row-store beats
+//     column-store unless the dataset has very few instances), and
+//   - the empirical decision matrix of Table 1,
+//
+// into a concrete recommendation with a quantified rationale.
+package advisor
+
+import (
+	"fmt"
+
+	"vero/internal/cluster"
+	"vero/internal/costmodel"
+)
+
+// Workload describes a training job in the paper's notation plus the
+// environment.
+type Workload struct {
+	N int64 // instances
+	D int64 // features
+	C int64 // gradient dimension: 1 for binary/regression, classes for multi
+	W int64 // workers
+	L int64 // tree layers
+	Q int64 // candidate splits per feature
+	// NNZPerRow is the average number of nonzero features per instance
+	// (d-bar in Section 3.2.4); use D for dense data.
+	NNZPerRow float64
+	// Net is the cluster's network model.
+	Net cluster.NetworkModel
+	// MemoryPerWorkerBytes optionally caps per-worker memory; zero means
+	// unconstrained.
+	MemoryPerWorkerBytes int64
+}
+
+func (w Workload) normalize() (Workload, error) {
+	if w.L == 0 {
+		w.L = 8
+	}
+	if w.Q == 0 {
+		w.Q = 20
+	}
+	if w.C == 0 {
+		w.C = 1
+	}
+	if w.NNZPerRow == 0 {
+		w.NNZPerRow = float64(w.D)
+	}
+	if w.Net == (cluster.NetworkModel{}) {
+		w.Net = cluster.Gigabit()
+	}
+	if w.N <= 0 || w.D <= 0 || w.W <= 0 {
+		return w, fmt.Errorf("advisor: invalid workload N=%d D=%d W=%d", w.N, w.D, w.W)
+	}
+	return w, nil
+}
+
+// Partitioning is the recommended partitioning scheme.
+type Partitioning string
+
+// Storage is the recommended storage pattern.
+type Storage string
+
+// Recommendation values.
+const (
+	Horizontal  Partitioning = "horizontal"
+	Vertical    Partitioning = "vertical"
+	RowStore    Storage      = "row"
+	ColumnStore Storage      = "column"
+)
+
+// Recommendation is the advisor's output: a quadrant, the matching named
+// system, and the quantities that drove the choice.
+type Recommendation struct {
+	Partitioning Partitioning
+	Storage      Storage
+	// Quadrant is 1-4 per Figure 1.
+	Quadrant int
+	// System is the matching evaluated system name ("vero", "lightgbm",
+	// "qd3", "xgboost").
+	System string
+	// HorizontalCommSecPerTree and VerticalCommSecPerTree are the
+	// modeled per-tree communication times of the two schemes.
+	HorizontalCommSecPerTree float64
+	VerticalCommSecPerTree   float64
+	// HorizontalMemBytes and VerticalMemBytes are the modeled per-worker
+	// histogram memory footprints.
+	HorizontalMemBytes int64
+	VerticalMemBytes   int64
+	// MemoryForcedVertical is true when only vertical partitioning fits
+	// the worker memory budget.
+	MemoryForcedVertical bool
+	// Rationale is a human-readable explanation.
+	Rationale string
+}
+
+// Recommend picks a data-management policy for the workload.
+func Recommend(w Workload) (Recommendation, error) {
+	w, err := w.normalize()
+	if err != nil {
+		return Recommendation{}, err
+	}
+	cm := costmodel.Workload{N: w.N, D: w.D, W: w.W, L: w.L, Q: w.Q, C: w.C}
+	rec := Recommendation{
+		HorizontalMemBytes: cm.HorizontalMemoryBytes(),
+		VerticalMemBytes:   cm.VerticalMemoryBytes(),
+	}
+
+	// Communication model (Section 3.1.3): volumes to seconds under the
+	// alpha-beta model. Horizontal aggregates histograms for every
+	// splitting node; vertical broadcasts one bitmap per layer.
+	beta := 1.0 / w.Net.BandwidthBytesPerSec
+	hBytes := float64(cm.HorizontalCommBytesPerTree())
+	vBytes := float64(cm.VerticalCommBytesPerTree())
+	// Latency steps: systems batch one aggregation per layer, so
+	// horizontal pays ~2(W-1) ring steps per layer; vertical pays
+	// ~log2(W)+W steps per layer (split exchange + bitmap broadcast).
+	hSteps := float64(2*(w.W-1)) * float64(w.L)
+	vSteps := float64(w.W+w.L) * float64(w.L)
+	rec.HorizontalCommSecPerTree = hSteps*w.Net.LatencySec + hBytes*beta/float64(w.W)
+	rec.VerticalCommSecPerTree = vSteps*w.Net.LatencySec + vBytes*beta/float64(w.W)
+
+	verticalWins := rec.VerticalCommSecPerTree < rec.HorizontalCommSecPerTree
+	if w.MemoryPerWorkerBytes > 0 && rec.HorizontalMemBytes > w.MemoryPerWorkerBytes {
+		if rec.VerticalMemBytes <= w.MemoryPerWorkerBytes {
+			verticalWins = true
+			rec.MemoryForcedVertical = true
+		}
+	}
+
+	// Storage pattern (Section 3.2.4): row-store achieves minimal
+	// computation unless the dataset has very few instances relative to
+	// its dimensionality — then column-store's cache-friendly
+	// construction wins (Figure 10(g): N=10K vs D>=25K, i.e. D/N >= ~2).
+	colStoreWins := float64(w.D) >= 2*float64(w.N) && w.N <= 100_000
+
+	switch {
+	case verticalWins && !colStoreWins:
+		rec.Partitioning, rec.Storage, rec.Quadrant, rec.System = Vertical, RowStore, 4, "vero"
+	case verticalWins && colStoreWins:
+		rec.Partitioning, rec.Storage, rec.Quadrant, rec.System = Vertical, ColumnStore, 3, "qd3"
+	case !verticalWins && !colStoreWins:
+		rec.Partitioning, rec.Storage, rec.Quadrant, rec.System = Horizontal, RowStore, 2, "lightgbm"
+	default:
+		rec.Partitioning, rec.Storage, rec.Quadrant, rec.System = Horizontal, ColumnStore, 1, "xgboost"
+	}
+
+	switch {
+	case rec.MemoryForcedVertical:
+		rec.Rationale = fmt.Sprintf(
+			"horizontal histograms need %.1f GB/worker (budget %.1f GB); vertical fits at %.1f GB",
+			gb(rec.HorizontalMemBytes), gb(w.MemoryPerWorkerBytes), gb(rec.VerticalMemBytes))
+	case verticalWins:
+		rec.Rationale = fmt.Sprintf(
+			"histogram aggregation (%.3fs/tree) dwarfs placement broadcasts (%.3fs/tree): D*q*C is large relative to N",
+			rec.HorizontalCommSecPerTree, rec.VerticalCommSecPerTree)
+	default:
+		rec.Rationale = fmt.Sprintf(
+			"placement broadcasts (%.3fs/tree) exceed histogram aggregation (%.3fs/tree): low dimensionality, many instances",
+			rec.VerticalCommSecPerTree, rec.HorizontalCommSecPerTree)
+	}
+	if colStoreWins {
+		rec.Rationale += "; very few instances relative to D favor column-store construction"
+	}
+	return rec, nil
+}
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }

@@ -1,0 +1,111 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"vero/internal/cluster"
+)
+
+func TestHighDimensionalPicksVero(t *testing.T) {
+	// RCV1-like: 697K x 47K sparse, the regime Table 3 shows Vero winning.
+	rec, err := Recommend(Workload{N: 697_000, D: 47_000, C: 1, W: 5, NNZPerRow: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.System != "vero" || rec.Quadrant != 4 {
+		t.Fatalf("recommended %s (QD%d), want vero (QD4): %s", rec.System, rec.Quadrant, rec.Rationale)
+	}
+}
+
+func TestMultiClassPicksVero(t *testing.T) {
+	// Age-like: 48M x 330K x 9 — the Section 3.1.4 example.
+	rec, err := Recommend(Workload{N: 48_000_000, D: 330_000, C: 9, W: 8, NNZPerRow: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.System != "vero" {
+		t.Fatalf("recommended %s, want vero: %s", rec.System, rec.Rationale)
+	}
+}
+
+func TestLowDimensionalPicksLightGBM(t *testing.T) {
+	// SUSY-like: 5M x 18 dense — LightGBM's regime (Table 3).
+	rec, err := Recommend(Workload{N: 5_000_000, D: 18, C: 1, W: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.System != "lightgbm" || rec.Quadrant != 2 {
+		t.Fatalf("recommended %s (QD%d), want lightgbm (QD2): %s", rec.System, rec.Quadrant, rec.Rationale)
+	}
+}
+
+func TestTinyNHighDPicksQD3(t *testing.T) {
+	// Figure 10(g)'s regime: N=10K, D=100K.
+	rec, err := Recommend(Workload{N: 10_000, D: 100_000, C: 1, W: 4, NNZPerRow: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.System != "qd3" || rec.Storage != ColumnStore {
+		t.Fatalf("recommended %s/%s, want qd3/column: %s", rec.System, rec.Storage, rec.Rationale)
+	}
+}
+
+func TestMemoryBudgetForcesVertical(t *testing.T) {
+	// Borderline communication, but horizontal histograms exceed the
+	// 8 GB worker budget (the paper's QD2 OOM at D=100K, C=10).
+	rec, err := Recommend(Workload{
+		N: 50_000_000, D: 100_000, C: 10, W: 8,
+		MemoryPerWorkerBytes: 8 << 30,
+		Net:                  cluster.TenGigabit(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Partitioning != Vertical {
+		t.Fatalf("recommended %s, want vertical: %s", rec.Partitioning, rec.Rationale)
+	}
+	if rec.HorizontalMemBytes <= 8<<30 {
+		t.Fatalf("horizontal memory model says %d bytes, expected above budget", rec.HorizontalMemBytes)
+	}
+}
+
+func TestFasterNetworkShiftsTowardHorizontal(t *testing.T) {
+	// Section 6's Gender observation: on a 10x faster network the
+	// horizontal aggregation penalty shrinks. The modeled horizontal
+	// comm time must drop ~10x between the presets.
+	wl := Workload{N: 122_000_000, D: 330_000, C: 1, W: 8, NNZPerRow: 300}
+	slow, err := Recommend(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Net = cluster.TenGigabit()
+	fast, err := Recommend(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.HorizontalCommSecPerTree >= slow.HorizontalCommSecPerTree/5 {
+		t.Fatalf("10 Gbps horizontal comm %v not well below 1 Gbps %v",
+			fast.HorizontalCommSecPerTree, slow.HorizontalCommSecPerTree)
+	}
+}
+
+func TestDefaultsAndValidation(t *testing.T) {
+	if _, err := Recommend(Workload{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	rec, err := Recommend(Workload{N: 1000, D: 10, W: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rationale == "" || rec.System == "" {
+		t.Fatalf("incomplete recommendation: %+v", rec)
+	}
+}
+
+func TestRationaleMentionsDrivingQuantity(t *testing.T) {
+	rec, _ := Recommend(Workload{N: 697_000, D: 47_000, C: 1, W: 5})
+	if !strings.Contains(rec.Rationale, "aggregation") {
+		t.Fatalf("rationale lacks explanation: %q", rec.Rationale)
+	}
+}

@@ -1,0 +1,113 @@
+// Package bitmap provides a compact bitset used to broadcast instance
+// placements after node splitting in vertically partitioned GBDT training.
+//
+// Section 3.1.3 of the paper encodes the left/right placement of each
+// instance into one bit, so broadcasting the placement of N instances
+// costs ceil(N/8) bytes per tree layer instead of 4N bytes, a 32x saving.
+package bitmap
+
+import "fmt"
+
+// Bitmap is a fixed-length bitset. The zero value is an empty bitmap of
+// length zero; use New to allocate one of a given length.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bitmap holding n bits, all cleared.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative length %d", n))
+	}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the bitmap.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *Bitmap) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear sets bit i to 0.
+func (b *Bitmap) Clear(i int) {
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// SetTo sets bit i to v.
+func (b *Bitmap) SetTo(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += popcount(w)
+	}
+	return c
+}
+
+// Reset clears all bits.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SizeBytes returns the wire size of the bitmap payload, ceil(n/8) bytes.
+// This is the quantity the paper's communication model charges for one
+// placement broadcast.
+func (b *Bitmap) SizeBytes() int { return (b.n + 7) / 8 }
+
+// MarshalBinary encodes the bitmap into a compact byte slice of
+// SizeBytes() bytes (little-endian bit order within each byte).
+func (b *Bitmap) MarshalBinary() ([]byte, error) {
+	out := make([]byte, b.SizeBytes())
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			out[i>>3] |= 1 << (uint(i) & 7)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a payload produced by MarshalBinary. The bitmap
+// must already have the correct length.
+func (b *Bitmap) UnmarshalBinary(data []byte) error {
+	if len(data) != b.SizeBytes() {
+		return fmt.Errorf("bitmap: payload has %d bytes, want %d", len(data), b.SizeBytes())
+	}
+	for i := 0; i < b.n; i++ {
+		b.SetTo(i, data[i>>3]&(1<<(uint(i)&7)) != 0)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	c := New(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight population count; avoids importing math/bits for
+	// no reason other than symmetry, but math/bits is stdlib — use it via
+	// the same algorithm to keep this file dependency-free.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

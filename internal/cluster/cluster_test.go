@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, Gigabit())
+}
+
+func TestParallelRunsEveryWorker(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		var opts []Option
+		if concurrent {
+			opts = append(opts, WithConcurrent())
+		}
+		c := New(4, Gigabit(), opts...)
+		var visited int32
+		c.Parallel("phase", func(w int) {
+			atomic.AddInt32(&visited, 1<<uint(w))
+		})
+		if visited != 15 {
+			t.Fatalf("concurrent=%v: visited mask %b, want 1111", concurrent, visited)
+		}
+		if c.Stats().Phase("phase").CompSeconds < 0 {
+			t.Fatal("negative comp time")
+		}
+	}
+}
+
+func TestParallelRecordsMakespan(t *testing.T) {
+	c := New(3, Gigabit())
+	c.Parallel("p", func(w int) {
+		if w == 1 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	got := c.Stats().Phase("p").CompSeconds
+	if got < 0.019 {
+		t.Fatalf("makespan %v, want >= slowest worker's 20ms", got)
+	}
+	// Sequential execution must not sum all workers into the makespan:
+	// the other two workers are ~instant, so the total stays near 20ms.
+	if got > 0.2 {
+		t.Fatalf("makespan %v looks like a sum across workers", got)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	c := New(4, Gigabit())
+	locals := [][]float64{
+		{1, 2}, {10, 20}, {100, 200}, {1000, 2000},
+	}
+	sum := c.AllReduceSum("agg", locals)
+	if sum[0] != 1111 || sum[1] != 2222 {
+		t.Fatalf("sum = %v", sum)
+	}
+	p := c.Stats().Phase("agg")
+	// Ring all-reduce: per-worker 2*(W-1)/W*n; total = W times that.
+	n := int64(2 * 8)
+	want := 2 * int64(3) * n / 4 * 4
+	if p.Bytes[OpAllReduce] != want {
+		t.Fatalf("bytes = %d, want %d", p.Bytes[OpAllReduce], want)
+	}
+	if p.CommSeconds <= 0 {
+		t.Fatal("no simulated comm time")
+	}
+}
+
+func TestAllReduceMismatchedArity(t *testing.T) {
+	c := New(2, Gigabit())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched locals did not panic")
+		}
+	}()
+	c.AllReduceSum("x", [][]float64{{1}})
+}
+
+func TestReduceScatterSum(t *testing.T) {
+	c := New(2, Gigabit())
+	sum, shard := c.ReduceScatterSum("agg", [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	if sum[0] != 6 || sum[3] != 12 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if shard[0] != [2]int{0, 2} || shard[1] != [2]int{2, 4} {
+		t.Fatalf("shards = %v", shard)
+	}
+	p := c.Stats().Phase("agg")
+	// Reduce-scatter moves (W-1)/W of the array per worker: 2 workers,
+	// 32 bytes payload -> 16 per worker, 32 total.
+	if p.Bytes[OpReduceScatter] != 32 {
+		t.Fatalf("bytes = %d, want 32", p.Bytes[OpReduceScatter])
+	}
+	// Reduce-scatter must be cheaper than all-reduce of the same payload.
+	c2 := New(2, Gigabit())
+	c2.AllReduceSum("agg", [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	if p.CommSeconds >= c2.Stats().Phase("agg").CommSeconds {
+		t.Fatal("reduce-scatter not cheaper than all-reduce")
+	}
+}
+
+func TestShardUnevenLength(t *testing.T) {
+	c := New(3, Gigabit())
+	_, shard := c.ReduceScatterSum("x", [][]float64{{1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}})
+	covered := 0
+	for _, s := range shard {
+		covered += s[1] - s[0]
+	}
+	if covered != 5 {
+		t.Fatalf("shards cover %d entries, want 5: %v", covered, shard)
+	}
+}
+
+func TestGatherSum(t *testing.T) {
+	c := New(4, Gigabit())
+	sum := c.GatherSum("agg", [][]float64{{1}, {2}, {3}, {4}})
+	if sum[0] != 10 {
+		t.Fatalf("sum = %v", sum)
+	}
+	p := c.Stats().Phase("agg")
+	if p.Bytes[OpGather] != 3*8 {
+		t.Fatalf("bytes = %d, want 24", p.Bytes[OpGather])
+	}
+}
+
+func TestShardedGatherFasterThanSingle(t *testing.T) {
+	mk := func() [][]float64 {
+		ls := make([][]float64, 4)
+		for i := range ls {
+			ls[i] = make([]float64, 1000)
+		}
+		return ls
+	}
+	c1 := New(4, Gigabit())
+	c1.GatherSum("agg", mk())
+	c2 := New(4, Gigabit())
+	c2.ShardedGatherSum("agg", mk(), 4)
+	t1 := c1.Stats().Phase("agg").CommSeconds
+	t2 := c2.Stats().Phase("agg").CommSeconds
+	if t2 >= t1 {
+		t.Fatalf("sharded gather (%v) not faster than single gather (%v)", t2, t1)
+	}
+	// Byte volume is identical — sharding only parallelizes it.
+	if c1.Stats().Phase("agg").Bytes[OpGather] != c2.Stats().Phase("agg").Bytes[OpGather] {
+		t.Fatal("sharding changed total bytes")
+	}
+}
+
+func TestBroadcastCost(t *testing.T) {
+	c := New(8, Gigabit())
+	c.Broadcast("split", 1000)
+	p := c.Stats().Phase("split")
+	if p.Bytes[OpBroadcast] != 7000 {
+		t.Fatalf("bytes = %d, want 7000", p.Bytes[OpBroadcast])
+	}
+}
+
+func TestAllGatherSmallCost(t *testing.T) {
+	c := New(4, Gigabit())
+	c.AllGatherSmall("split", 100)
+	p := c.Stats().Phase("split")
+	if p.Bytes[OpAllGather] != 4*3*100 {
+		t.Fatalf("bytes = %d, want 1200", p.Bytes[OpAllGather])
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	c := New(3, Gigabit())
+	send := [][]int64{
+		{0, 10, 20},
+		{5, 0, 15},
+		{1, 2, 0},
+	}
+	c.Shuffle("repart", send)
+	p := c.Stats().Phase("repart")
+	if p.Bytes[OpShuffle] != 53 {
+		t.Fatalf("bytes = %d, want 53", p.Bytes[OpShuffle])
+	}
+}
+
+func TestCommScalesWithBandwidth(t *testing.T) {
+	big := make([]float64, 1<<16)
+	slow := New(2, NetworkModel{LatencySec: 0, BandwidthBytesPerSec: 1e6})
+	fast := New(2, NetworkModel{LatencySec: 0, BandwidthBytesPerSec: 1e8})
+	slow.AllReduceSum("x", [][]float64{big, big})
+	fast.AllReduceSum("x", [][]float64{big, big})
+	ratio := slow.Stats().Phase("x").CommSeconds / fast.Stats().Phase("x").CommSeconds
+	if math.Abs(ratio-100) > 1e-6 {
+		t.Fatalf("time ratio = %v, want 100x", ratio)
+	}
+}
+
+func TestMemGauge(t *testing.T) {
+	c := New(2, Gigabit())
+	g := c.Stats().Mem("histogram")
+	g.Add(0, 100)
+	g.Add(0, 50)
+	g.Add(0, -120)
+	g.Set(1, 70)
+	if g.Cur[0] != 30 || g.Peak[0] != 150 {
+		t.Fatalf("worker 0 gauge = %d peak %d", g.Cur[0], g.Peak[0])
+	}
+	if g.MaxPeak() != 150 || g.SumPeak() != 220 {
+		t.Fatalf("MaxPeak=%d SumPeak=%d", g.MaxPeak(), g.SumPeak())
+	}
+	// Same name returns the same gauge.
+	if c.Stats().Mem("histogram") != g {
+		t.Fatal("Mem not idempotent")
+	}
+}
+
+func TestTotalsAndString(t *testing.T) {
+	c := New(2, Gigabit())
+	c.Parallel("build", func(int) {})
+	c.AllReduceSum("agg", [][]float64{{1}, {2}})
+	comp, comm, bytes := c.Stats().Totals()
+	if comp < 0 || comm <= 0 || bytes <= 0 {
+		t.Fatalf("Totals = %v %v %v", comp, comm, bytes)
+	}
+	if s := c.Stats().String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	names := c.Stats().PhaseNames()
+	if len(names) != 2 || names[0] != "agg" || names[1] != "build" {
+		t.Fatalf("PhaseNames = %v", names)
+	}
+	c.ResetStats()
+	if _, _, b := c.Stats().Totals(); b != 0 {
+		t.Fatal("ResetStats kept bytes")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for x, want := range cases {
+		if got := ceilLog2(x); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", k)
+		}
+	}
+	if OpKind(99).String() != "op(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import "fmt"
+
+// Collective primitives. Each reduces/moves data that in a real deployment
+// would cross the network; here the data movement happens in memory while
+// the byte volume and simulated wall time are recorded under the caller's
+// phase label.
+//
+// Cost model (W workers, n bytes of payload per worker, alpha latency,
+// beta seconds/byte — Thakur et al., cited as [36] by the paper):
+//
+//	all-reduce (ring):      2(W-1) steps, each moving n/W bytes per worker
+//	reduce-scatter (ring):  (W-1) steps, each moving n/W bytes per worker
+//	gather (to one root):   root receives (W-1) * n bytes serially
+//	broadcast (binomial):   ceil(log2 W) steps, n bytes per step
+//	all-gather (small):     every worker receives (W-1) * n bytes
+//	all-to-all (shuffle):   bounded by the busiest worker's send+recv bytes
+
+const float64Size = 8
+
+// AllReduceSum element-wise sums the per-worker arrays and returns the
+// global array. Every worker ends up holding the result (ring all-reduce).
+// The minimal data transferred per worker is the size of its local
+// histogram — the paper's lower bound in Section 3.1.3.
+func (c *Cluster) AllReduceSum(phase string, locals [][]float64) []float64 {
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
+	sum := sumAligned(locals)
+	c.ChargeAllReduce(phase, int64(len(sum))*float64Size)
+	return sum
+}
+
+// ChargeAllReduce records the cost of ring all-reducing a payload of n
+// bytes per worker without moving data (for callers that reduce in place).
+func (c *Cluster) ChargeAllReduce(phase string, n int64) {
+	perWorkerBytes := int64(2) * int64(c.w-1) * n / int64(c.w)
+	c.stats.addComm(phase, OpAllReduce, perWorkerBytes*int64(c.w),
+		c.simTime(2*(c.w-1), float64(n)/float64(c.w)*2*float64(c.w-1)))
+}
+
+// ReduceScatterSum element-wise sums the per-worker arrays; worker i ends
+// up owning the i-th contiguous shard of the result. The full summed
+// array and the shard ranges are returned (LightGBM's aggregation,
+// Section 4.1). Only the reduce-scatter bytes are charged; exchanging the
+// subsequent per-shard best splits is a separate AllGatherSmall.
+func (c *Cluster) ReduceScatterSum(phase string, locals [][]float64) (sum []float64, shard [][2]int) {
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
+	sum = sumAligned(locals)
+	c.ChargeReduceScatter(phase, int64(len(sum))*float64Size)
+	shard = make([][2]int, c.w)
+	per := (len(sum) + c.w - 1) / c.w
+	for w := 0; w < c.w; w++ {
+		lo := min(w*per, len(sum))
+		hi := min(lo+per, len(sum))
+		shard[w] = [2]int{lo, hi}
+	}
+	return sum, shard
+}
+
+// ChargeReduceScatter records the cost of ring reduce-scattering n bytes
+// per worker without moving data.
+func (c *Cluster) ChargeReduceScatter(phase string, n int64) {
+	perWorkerBytes := int64(c.w-1) * n / int64(c.w)
+	c.stats.addComm(phase, OpReduceScatter, perWorkerBytes*int64(c.w),
+		c.simTime(c.w-1, float64(n)/float64(c.w)*float64(c.w-1)))
+}
+
+// GatherSum element-wise sums the per-worker arrays at a single root
+// (DimBoost's parameter-server aggregation collapses to this when the PS
+// has one shard; use ShardedGatherSum for multiple shards).
+func (c *Cluster) GatherSum(phase string, locals [][]float64) []float64 {
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
+	sum := sumAligned(locals)
+	n := int64(len(sum)) * float64Size
+	total := int64(c.w-1) * n
+	c.stats.addComm(phase, OpGather, total, c.simTime(c.w-1, float64(total)))
+	return sum
+}
+
+// ShardedGatherSum models a parameter-server with `shards` servers
+// co-located on the workers: each worker pushes the shard-sized fraction
+// of its local array to each shard owner, so the per-link volume divides
+// by the shard count and shards receive in parallel.
+func (c *Cluster) ShardedGatherSum(phase string, locals [][]float64, shards int) []float64 {
+	if shards <= 0 {
+		panic(fmt.Sprintf("cluster: shard count %d", shards))
+	}
+	sum := sumAligned(locals)
+	c.ChargeShardedGather(phase, int64(len(sum))*float64Size, shards)
+	return sum
+}
+
+// ChargeShardedGather records the cost of a sharded gather of n bytes per
+// worker without moving data.
+func (c *Cluster) ChargeShardedGather(phase string, n int64, shards int) {
+	total := int64(c.w-1) * n // every byte still leaves its worker once
+	perShard := float64(total) / float64(shards)
+	c.stats.addComm(phase, OpGather, total, c.simTime(c.w-1, perShard))
+}
+
+// Broadcast charges a binomial-tree broadcast of b payload bytes from one
+// root to the other W-1 workers (e.g. the instance-placement bitmap of
+// vertical partitioning, Section 3.1.3).
+func (c *Cluster) Broadcast(phase string, b int64) {
+	steps := ceilLog2(c.w)
+	total := int64(c.w-1) * b
+	c.stats.addComm(phase, OpBroadcast, total, c.simTime(steps, float64(steps)*float64(b)))
+}
+
+// AllGatherSmall charges an all-gather where every worker contributes b
+// bytes and receives everyone else's contribution (exchanging local best
+// splits in vertical partitioning, Section 2.2.1).
+func (c *Cluster) AllGatherSmall(phase string, b int64) {
+	total := int64(c.w) * int64(c.w-1) * b
+	c.stats.addComm(phase, OpAllGather, total, c.simTime(ceilLog2(c.w), float64(c.w-1)*float64(b)))
+}
+
+// PointToPoint charges a single b-byte message between two workers (or
+// worker and master).
+func (c *Cluster) PointToPoint(phase string, b int64) {
+	c.stats.addComm(phase, OpPointToPoint, b, c.simTime(1, float64(b)))
+}
+
+// Shuffle charges an all-to-all repartition where sendBytes[i][j] bytes
+// move from worker i to worker j (step 4 of the horizontal-to-vertical
+// transformation). Simulated time is bounded by the busiest worker's
+// send plus receive volume.
+func (c *Cluster) Shuffle(phase string, sendBytes [][]int64) {
+	if len(sendBytes) != c.w {
+		panic(fmt.Sprintf("cluster: shuffle matrix has %d rows for %d workers", len(sendBytes), c.w))
+	}
+	var total int64
+	var busiest float64
+	for i := 0; i < c.w; i++ {
+		var out, in int64
+		for j := 0; j < c.w; j++ {
+			if i != j {
+				out += sendBytes[i][j]
+				in += sendBytes[j][i]
+			}
+		}
+		total += out
+		if v := float64(out + in); v > busiest {
+			busiest = v
+		}
+	}
+	c.stats.addComm(phase, OpShuffle, total, c.simTime(c.w-1, busiest))
+}
+
+// ChargeComm records a raw communication volume with an explicit simulated
+// duration; used by components that model costs themselves.
+func (c *Cluster) ChargeComm(phase string, kind OpKind, bytes int64, seconds float64) {
+	c.stats.addComm(phase, kind, bytes, seconds)
+}
+
+// sumAligned element-wise sums arrays that must all share one length.
+func sumAligned(locals [][]float64) []float64 {
+	n := len(locals[0])
+	for w, l := range locals {
+		if len(l) != n {
+			panic(fmt.Sprintf("cluster: worker %d array has %d entries, worker 0 has %d", w, len(l), n))
+		}
+	}
+	sum := make([]float64, n)
+	for _, l := range locals {
+		for i, v := range l {
+			sum[i] += v
+		}
+	}
+	return sum
+}
+
+func ceilLog2(x int) int {
+	n := 0
+	for p := 1; p < x; p <<= 1 {
+		n++
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

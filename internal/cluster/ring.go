@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// RingAllReduce performs a real ring all-reduce of per-worker float64
+// arrays over the given connections: conns[i] carries traffic from worker
+// i to worker (i+1) mod W. It exists to validate the simulator's cost
+// accounting against genuine wire traffic (see TestRingAllReduceMatches
+// Model): every worker sends exactly 2(W-1)/W of the payload, the volume
+// ChargeAllReduce charges.
+//
+// The reduce-scatter phase circulates partial sums for W-1 steps; the
+// all-gather phase circulates finished shards for another W-1 steps. Each
+// step moves one shard (1/W of the array) per worker.
+func RingAllReduce(locals [][]float64, send []net.Conn, recv []net.Conn) error {
+	w := len(locals)
+	if w == 0 {
+		return fmt.Errorf("cluster: no workers")
+	}
+	if len(send) != w || len(recv) != w {
+		return fmt.Errorf("cluster: %d workers but %d/%d connections", w, len(send), len(recv))
+	}
+	n := len(locals[0])
+	for i, l := range locals {
+		if len(l) != n {
+			return fmt.Errorf("cluster: worker %d has %d entries, worker 0 has %d", i, len(l), n)
+		}
+	}
+	if w == 1 {
+		return nil
+	}
+	// Shard boundaries: shard s covers [bounds[s], bounds[s+1]).
+	bounds := make([]int, w+1)
+	for s := 0; s <= w; s++ {
+		bounds[s] = s * n / w
+	}
+	shard := func(x []float64, s int) []float64 {
+		s = ((s % w) + w) % w
+		return x[bounds[s]:bounds[s+1]]
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, w)
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(i int) {
+			defer wg.Done()
+			buf := locals[i]
+			tmp := make([]float64, n)
+			// Phase 1: reduce-scatter. At step t, worker i sends shard
+			// (i-t) and receives shard (i-t-1), adding it in.
+			for t := 0; t < w-1; t++ {
+				out := shard(buf, i-t)
+				in := shard(tmp, i-t-1)
+				if err := exchange(send[i], recv[i], out, in); err != nil {
+					errs[i] = err
+					return
+				}
+				dst := shard(buf, i-t-1)
+				for k := range dst {
+					dst[k] += in[k]
+				}
+			}
+			// Phase 2: all-gather. Worker i owns the fully reduced shard
+			// (i+1); circulate finished shards.
+			for t := 0; t < w-1; t++ {
+				out := shard(buf, i+1-t)
+				in := shard(tmp, i-t)
+				if err := exchange(send[i], recv[i], out, in); err != nil {
+					errs[i] = err
+					return
+				}
+				copy(shard(buf, i-t), in)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exchange concurrently writes out to the send connection and fills in
+// from the receive connection.
+func exchange(send, recv net.Conn, out, in []float64) error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- writeFloats(send, out)
+	}()
+	if err := readFloats(recv, in); err != nil {
+		<-errc
+		return err
+	}
+	return <-errc
+}
+
+func writeFloats(w io.Writer, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}
+
+// CountingConn wraps a net.Conn and counts written bytes.
+type CountingConn struct {
+	net.Conn
+	mu      sync.Mutex
+	written int64
+}
+
+// Write implements net.Conn.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Written returns the total bytes written through the connection.
+func (c *CountingConn) Written() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+)
+
+// ringConns builds the ring topology over in-memory pipes: send[i] writes
+// to worker (i+1) mod w, recv[i] reads from worker (i-1) mod w.
+func ringConns(w int) (send, recv []*CountingConn) {
+	send = make([]*CountingConn, w)
+	recv = make([]*CountingConn, w)
+	for i := 0; i < w; i++ {
+		a, b := net.Pipe()
+		send[i] = &CountingConn{Conn: a}
+		recv[(i+1)%w] = &CountingConn{Conn: b}
+	}
+	return send, recv
+}
+
+func asConns(cs []*CountingConn) []net.Conn {
+	out := make([]net.Conn, len(cs))
+	for i, c := range cs {
+		out[i] = c
+	}
+	return out
+}
+
+// TestRingAllReduceCorrect runs a genuine ring all-reduce over net.Pipe and
+// checks every worker ends with the global sum.
+func TestRingAllReduceCorrect(t *testing.T) {
+	for _, w := range []int{2, 3, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(w)))
+		const n = 103 // deliberately not divisible by w
+		locals := make([][]float64, w)
+		want := make([]float64, n)
+		for i := range locals {
+			locals[i] = make([]float64, n)
+			for k := range locals[i] {
+				locals[i][k] = rng.NormFloat64()
+				want[k] += locals[i][k]
+			}
+		}
+		send, recv := ringConns(w)
+		if err := RingAllReduce(locals, asConns(send), asConns(recv)); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		for i := range locals {
+			for k := range want {
+				if math.Abs(locals[i][k]-want[k]) > 1e-9 {
+					t.Fatalf("w=%d: worker %d entry %d = %v, want %v", w, i, k, locals[i][k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRingAllReduceMatchesModel validates the simulator's cost accounting
+// against real wire traffic: the bytes each worker writes in a genuine
+// ring all-reduce must equal the 2(W-1)/W * n per-worker volume that
+// ChargeAllReduce charges.
+func TestRingAllReduceMatchesModel(t *testing.T) {
+	const w = 4
+	const n = 128 // divisible by w so shard sizes are uniform
+	locals := make([][]float64, w)
+	for i := range locals {
+		locals[i] = make([]float64, n)
+	}
+	send, recv := ringConns(w)
+	if err := RingAllReduce(locals, asConns(send), asConns(recv)); err != nil {
+		t.Fatal(err)
+	}
+	var realBytes int64
+	for _, c := range send {
+		realBytes += c.Written()
+	}
+	c := New(w, Gigabit())
+	c.ChargeAllReduce("x", n*8)
+	modelBytes := c.Stats().Phase("x").Bytes[OpAllReduce]
+	if realBytes != modelBytes {
+		t.Fatalf("real ring moved %d bytes, model charges %d", realBytes, modelBytes)
+	}
+}
+
+func TestRingAllReduceSingleWorker(t *testing.T) {
+	locals := [][]float64{{1, 2, 3}}
+	if err := RingAllReduce(locals, make([]net.Conn, 1), make([]net.Conn, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if locals[0][0] != 1 {
+		t.Fatal("single-worker all-reduce changed data")
+	}
+}
+
+func TestRingAllReduceValidation(t *testing.T) {
+	if err := RingAllReduce(nil, nil, nil); err == nil {
+		t.Fatal("accepted zero workers")
+	}
+	if err := RingAllReduce([][]float64{{1}, {1, 2}}, make([]net.Conn, 2), make([]net.Conn, 2)); err == nil {
+		t.Fatal("accepted ragged arrays")
+	}
+	if err := RingAllReduce([][]float64{{1}, {2}}, make([]net.Conn, 1), make([]net.Conn, 2)); err == nil {
+		t.Fatal("accepted wrong connection count")
+	}
+}

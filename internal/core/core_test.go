@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+	"vero/internal/loss"
+	"vero/internal/tree"
+)
+
+func binaryData(t *testing.T, n, d int, density float64) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: n, D: d, C: 2, InformativeRatio: 0.4, Density: density, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func multiData(t *testing.T, n, d, c int) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: n, D: d, C: c, InformativeRatio: 0.4, Density: 0.3, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func trainQuadrant(t *testing.T, ds *datasets.Dataset, cfg Config, w int) (*Result, *cluster.Cluster) {
+	t.Helper()
+	cl := cluster.New(w, cluster.Gigabit())
+	res, err := Train(cl, ds, cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", cfg.Quadrant, err)
+	}
+	return res, cl
+}
+
+func smallConfig(q Quadrant) Config {
+	return Config{
+		Quadrant: q,
+		Trees:    3,
+		Layers:   5,
+		Splits:   16,
+	}
+}
+
+// forestsEqual compares tree structures and leaf weights.
+func forestsEqual(t *testing.T, a, b *tree.Forest, labelA, labelB string) {
+	t.Helper()
+	if a.NumTrees() != b.NumTrees() {
+		t.Fatalf("%s has %d trees, %s has %d", labelA, a.NumTrees(), labelB, b.NumTrees())
+	}
+	for ti := range a.Trees {
+		ta, tb := a.Trees[ti], b.Trees[ti]
+		if len(ta.Nodes) != len(tb.Nodes) {
+			t.Fatalf("tree %d: %d vs %d nodes (%s vs %s)", ti, len(ta.Nodes), len(tb.Nodes), labelA, labelB)
+		}
+		for ni := range ta.Nodes {
+			na, nb := &ta.Nodes[ni], &tb.Nodes[ni]
+			if na.Feature != nb.Feature || na.SplitBin != nb.SplitBin || na.DefaultLeft != nb.DefaultLeft {
+				t.Fatalf("tree %d node %d differs: %s=(f%d,b%d,dl%v) %s=(f%d,b%d,dl%v)",
+					ti, ni, labelA, na.Feature, na.SplitBin, na.DefaultLeft,
+					labelB, nb.Feature, nb.SplitBin, nb.DefaultLeft)
+			}
+			for k := range na.Weights {
+				if math.Abs(na.Weights[k]-nb.Weights[k]) > 1e-9 {
+					t.Fatalf("tree %d node %d weight %d: %v vs %v", ti, ni, k, na.Weights[k], nb.Weights[k])
+				}
+			}
+		}
+	}
+}
+
+// TestQuadrantsProduceIdenticalModels is the reproduction's central
+// invariant: the paper implements all four quadrants "in the same code
+// base" — they are one algorithm under four data-management policies, so
+// with identical hyper-parameters they must grow identical trees.
+func TestQuadrantsProduceIdenticalModels(t *testing.T) {
+	ds := binaryData(t, 1500, 40, 0.3)
+	ref, _ := trainQuadrant(t, ds, smallConfig(QD2), 4)
+	for _, q := range []Quadrant{QD1, QD3, QD4} {
+		res, _ := trainQuadrant(t, ds, smallConfig(q), 4)
+		forestsEqual(t, ref.Forest, res.Forest, "QD2", q.String())
+	}
+}
+
+func TestAggregationVariantsProduceIdenticalModels(t *testing.T) {
+	ds := binaryData(t, 1000, 30, 0.4)
+	cfg := smallConfig(QD2)
+	ref, _ := trainQuadrant(t, ds, cfg, 3)
+	for _, agg := range []Aggregation{AggReduceScatter, AggParameterServer} {
+		cfg2 := cfg
+		cfg2.Aggregation = agg
+		res, _ := trainQuadrant(t, ds, cfg2, 3)
+		forestsEqual(t, ref.Forest, res.Forest, "all-reduce", "variant")
+	}
+}
+
+func TestQD3IndexPlansProduceIdenticalModels(t *testing.T) {
+	ds := binaryData(t, 1000, 30, 0.4)
+	cfg := smallConfig(QD3)
+	hybrid, _ := trainQuadrant(t, ds, cfg, 3)
+	cfg.ColumnIndex = IndexColumnWise
+	yggdrasil, _ := trainQuadrant(t, ds, cfg, 3)
+	forestsEqual(t, hybrid.Forest, yggdrasil.Forest, "hybrid", "column-wise")
+}
+
+func TestFeatureParallelProducesIdenticalModel(t *testing.T) {
+	ds := binaryData(t, 1000, 30, 0.4)
+	ref, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
+	cfg := smallConfig(QD4)
+	cfg.FullCopy = true
+	fp, _ := trainQuadrant(t, ds, cfg, 3)
+	forestsEqual(t, ref.Forest, fp.Forest, "vero", "feature-parallel")
+}
+
+func TestWorkerCountDoesNotChangeModel(t *testing.T) {
+	ds := binaryData(t, 800, 25, 0.4)
+	ref, _ := trainQuadrant(t, ds, smallConfig(QD4), 2)
+	for _, w := range []int{1, 5} {
+		res, _ := trainQuadrant(t, ds, smallConfig(QD4), w)
+		forestsEqual(t, ref.Forest, res.Forest, "w=2", "w=other")
+	}
+}
+
+func TestTrainingImprovesBinaryMetrics(t *testing.T) {
+	ds := binaryData(t, 2000, 40, 0.3)
+	train, valid := ds.Split(0.8, 7)
+	cfg := Config{Quadrant: QD4, Trees: 10, Layers: 5, Splits: 16}
+	cl := cluster.New(4, cluster.Gigabit())
+	res, err := Train(cl, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := res.Forest.PredictCSR(valid.X)
+	auc := loss.AUC(scores, valid.Labels)
+	if auc < 0.75 {
+		t.Fatalf("validation AUC = %v, want >= 0.75", auc)
+	}
+	// Later trees must improve training fit over the first tree alone.
+	one := &tree.Forest{Trees: res.Forest.Trees[:1], NumClass: 1,
+		LearningRate: res.Forest.LearningRate, InitScore: res.Forest.InitScore}
+	llFull := loss.LogLoss(res.Forest.PredictCSR(train.X), train.Labels)
+	llOne := loss.LogLoss(one.PredictCSR(train.X), train.Labels)
+	if llFull >= llOne {
+		t.Fatalf("10-tree logloss %v not better than 1-tree %v", llFull, llOne)
+	}
+}
+
+func TestTrainingMultiClass(t *testing.T) {
+	ds := multiData(t, 2000, 30, 5)
+	train, valid := ds.Split(0.8, 9)
+	cfg := Config{Quadrant: QD4, Trees: 8, Layers: 5, Splits: 16}
+	cl := cluster.New(4, cluster.Gigabit())
+	res, err := Train(cl, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forest.NumClass != 5 {
+		t.Fatalf("forest has %d classes", res.Forest.NumClass)
+	}
+	scores := res.Forest.PredictCSR(valid.X)
+	acc := loss.MultiAccuracy(scores, valid.Labels, 5)
+	if acc < 0.45 { // 5-class chance is 0.2
+		t.Fatalf("validation accuracy = %v, want >= 0.45", acc)
+	}
+}
+
+func TestTrainingRegression(t *testing.T) {
+	ds, err := datasets.SyntheticRegression(1500, 20, 0.5, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Quadrant: QD2, Trees: 10, Layers: 5, Splits: 16, Objective: "square"}
+	cl := cluster.New(3, cluster.Gigabit())
+	res, err := Train(cl, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := res.Forest.PredictCSR(ds.X)
+	rmse := loss.RMSE(pred, ds.Labels)
+	var mean float64
+	for _, y := range ds.Labels {
+		mean += float64(y)
+	}
+	mean /= float64(len(ds.Labels))
+	base := 0.0
+	for _, y := range ds.Labels {
+		base += (float64(y) - mean) * (float64(y) - mean)
+	}
+	base = math.Sqrt(base / float64(len(ds.Labels)))
+	if rmse > 0.7*base {
+		t.Fatalf("RMSE %v vs baseline %v: model barely learned", rmse, base)
+	}
+}
+
+func TestOnTreeCallback(t *testing.T) {
+	ds := binaryData(t, 500, 20, 0.4)
+	var calls int
+	var lastElapsed float64
+	cfg := smallConfig(QD2)
+	cfg.OnTree = func(i int, elapsed float64, tr *tree.Tree) {
+		if i != calls {
+			t.Fatalf("callback order: got tree %d at call %d", i, calls)
+		}
+		if elapsed < lastElapsed {
+			t.Fatalf("elapsed went backwards: %v -> %v", lastElapsed, elapsed)
+		}
+		if tr == nil || tr.NumLeaves() < 1 {
+			t.Fatal("callback got bad tree")
+		}
+		lastElapsed = elapsed
+		calls++
+	}
+	trainQuadrant(t, ds, cfg, 2)
+	if calls != cfg.Trees {
+		t.Fatalf("callback ran %d times, want %d", calls, cfg.Trees)
+	}
+}
+
+func TestPerTreeSeconds(t *testing.T) {
+	ds := binaryData(t, 500, 20, 0.4)
+	res, _ := trainQuadrant(t, ds, smallConfig(QD4), 2)
+	if len(res.PerTreeSeconds) != 3 {
+		t.Fatalf("PerTreeSeconds has %d entries", len(res.PerTreeSeconds))
+	}
+	for i, s := range res.PerTreeSeconds {
+		if s <= 0 {
+			t.Fatalf("tree %d took %v seconds", i, s)
+		}
+	}
+	if res.CommSeconds <= 0 || res.CompSeconds <= 0 {
+		t.Fatalf("breakdown %v/%v", res.CompSeconds, res.CommSeconds)
+	}
+}
+
+// TestCommShapeHorizontalVsVertical checks the core claim of Section 3.1.3:
+// horizontal aggregation volume scales with D while vertical placement
+// volume scales with N, so high-dimensional data favors QD4.
+func TestCommShapeHorizontalVsVertical(t *testing.T) {
+	wide := binaryData(t, 600, 400, 0.1)
+	cfgH := smallConfig(QD2)
+	cfgV := smallConfig(QD4)
+	_, clH := trainQuadrant(t, wide, cfgH, 4)
+	_, clV := trainQuadrant(t, wide, cfgV, 4)
+	_, commH, bytesH := clH.Stats().Totals()
+	_, commV, bytesV := clV.Stats().Totals()
+	if bytesH <= bytesV {
+		t.Fatalf("high-dim: horizontal bytes %d not above vertical %d", bytesH, bytesV)
+	}
+	if commH <= commV {
+		t.Fatalf("high-dim: horizontal comm time %v not above vertical %v", commH, commV)
+	}
+
+	// Low dimensionality with many instances reverses the ordering
+	// (Figure 10(a)): histograms are tiny while placement bitmaps still
+	// scale with N. The paper's low-dim workloads have N/D ~ 10^5; use a
+	// few-feature dataset with many rows and few candidate splits.
+	narrow := binaryData(t, 60000, 5, 1.0)
+	cfgH.Splits = 8
+	cfgV.Splits = 8
+	cfgH.Layers = 6
+	cfgV.Layers = 6
+	cfgH.Trees = 2
+	cfgV.Trees = 2
+	_, clH2 := trainQuadrant(t, narrow, cfgH, 4)
+	_, clV2 := trainQuadrant(t, narrow, cfgV, 4)
+	trainBytes := func(cl *cluster.Cluster) int64 {
+		var b int64
+		for _, ph := range []string{phaseHist, phaseSplit, phaseNode, phaseUpdate, phaseGrad} {
+			p := cl.Stats().Phase(ph)
+			b += p.TotalBytes()
+		}
+		return b
+	}
+	if h, v := trainBytes(clH2), trainBytes(clV2); h >= v {
+		t.Fatalf("low-dim: horizontal train bytes %d not below vertical %d", h, v)
+	}
+}
+
+// TestMemoryShape checks Section 3.1.2: horizontal histogram memory is ~W
+// times vertical.
+func TestMemoryShape(t *testing.T) {
+	ds := binaryData(t, 600, 200, 0.2)
+	_, clH := trainQuadrant(t, ds, smallConfig(QD2), 4)
+	_, clV := trainQuadrant(t, ds, smallConfig(QD4), 4)
+	h := clH.Stats().Mem("histogram").MaxPeak()
+	v := clV.Stats().Mem("histogram").MaxPeak()
+	if h < 3*v {
+		t.Fatalf("horizontal histogram peak %d not >= 3x vertical %d (W=4)", h, v)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := binaryData(t, 100, 10, 0.5)
+	cl := cluster.New(2, cluster.Gigabit())
+	if _, err := Train(cl, ds, Config{}); err == nil {
+		t.Fatal("accepted zero quadrant")
+	}
+	if _, err := Train(cl, ds, Config{Quadrant: QD2, Layers: 1}); err == nil {
+		t.Fatal("accepted L=1")
+	}
+	if _, err := Train(cl, ds, Config{Quadrant: QD2, FullCopy: true}); err == nil {
+		t.Fatal("accepted FullCopy outside QD4")
+	}
+	if _, err := Train(cl, ds, Config{Quadrant: QD2, Objective: "nope"}); err == nil {
+		t.Fatal("accepted unknown objective")
+	}
+}
+
+func TestQuadrantString(t *testing.T) {
+	for q := QD1; q <= QD4; q++ {
+		if q.String() == "" {
+			t.Fatal("empty quadrant name")
+		}
+	}
+	if !QD3.Vertical() || !QD4.Vertical() || QD1.Vertical() || QD2.Vertical() {
+		t.Fatal("Vertical() wrong")
+	}
+}
+
+func TestTransformBytesReported(t *testing.T) {
+	ds := binaryData(t, 500, 30, 0.3)
+	res, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
+	b := res.TransformBytes
+	if b.NaiveShuffle == 0 || b.BlockifiedShuffle == 0 || b.LabelBroadcast == 0 {
+		t.Fatalf("transform bytes not reported: %+v", b)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+	"vero/internal/sparse"
+)
+
+// TestSingleWorker: every quadrant degenerates gracefully to W=1.
+func TestSingleWorker(t *testing.T) {
+	ds := binaryData(t, 600, 20, 0.4)
+	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
+		res, _ := trainQuadrant(t, ds, smallConfig(q), 1)
+		if res.Forest.NumTrees() != 3 {
+			t.Fatalf("%v: %d trees", q, res.Forest.NumTrees())
+		}
+	}
+}
+
+// TestMoreWorkersThanRows: empty shards must not break any quadrant.
+func TestMoreWorkersThanRows(t *testing.T) {
+	ds := binaryData(t, 6, 10, 0.8)
+	cfg := Config{Quadrant: QD2, Trees: 1, Layers: 3, Splits: 4}
+	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
+		cfg.Quadrant = q
+		cl := cluster.New(8, cluster.Gigabit())
+		if _, err := Train(cl, ds, cfg); err != nil {
+			t.Fatalf("%v with 8 workers on 6 rows: %v", q, err)
+		}
+	}
+}
+
+// TestConstantFeaturesSkipped: features with a single value admit no split
+// and must simply be ignored.
+func TestConstantFeaturesSkipped(t *testing.T) {
+	b := sparse.NewCSRBuilder(3)
+	labels := make([]float32, 200)
+	for i := 0; i < 200; i++ {
+		v := float32(i%2*2 - 1)
+		// Feature 0 constant, feature 1 informative, feature 2 absent.
+		if err := b.AddRow([]sparse.KV{{Index: 0, Value: 7}, {Index: 1, Value: v}}); err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = float32(i % 2)
+	}
+	ds := &datasets.Dataset{Name: "const", X: b.Build(), Labels: labels, NumClass: 2, Task: datasets.TaskBinary}
+	for _, q := range []Quadrant{QD2, QD4} {
+		cl := cluster.New(2, cluster.Gigabit())
+		res, err := Train(cl, ds, Config{Quadrant: q, Trees: 1, Layers: 3, Splits: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		for _, n := range res.Forest.Trees[0].Nodes {
+			if !n.IsLeaf() && (n.Feature == 0 || n.Feature == 2) {
+				t.Fatalf("%v: split on unusable feature %d", q, n.Feature)
+			}
+		}
+		// Feature 1 separates the classes perfectly: the root must split.
+		if res.Forest.Trees[0].NumLeaves() < 2 {
+			t.Fatalf("%v: tree did not split at all", q)
+		}
+	}
+}
+
+// TestAllConstantDatasetFails: no splittable feature at all is an error
+// surfaced at preparation time, not a crash.
+func TestAllConstantDatasetFails(t *testing.T) {
+	b := sparse.NewCSRBuilder(2)
+	labels := make([]float32, 50)
+	for i := 0; i < 50; i++ {
+		if err := b.AddRow([]sparse.KV{{Index: 0, Value: 1}, {Index: 1, Value: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = float32(i % 2)
+	}
+	ds := &datasets.Dataset{Name: "allconst", X: b.Build(), Labels: labels, NumClass: 2, Task: datasets.TaskBinary}
+	cl := cluster.New(2, cluster.Gigabit())
+	if _, err := Train(cl, ds, Config{Quadrant: QD2, Trees: 1, Layers: 3, Splits: 8}); err == nil {
+		t.Fatal("all-constant dataset accepted")
+	}
+}
+
+// TestDenseDataset: fully dense rows (no missing values) across quadrants.
+func TestDenseDataset(t *testing.T) {
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: 800, D: 15, C: 2, InformativeRatio: 0.5, Density: 1.0, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := trainQuadrant(t, ds, smallConfig(QD2), 3)
+	for _, q := range []Quadrant{QD1, QD3, QD4} {
+		res, _ := trainQuadrant(t, ds, smallConfig(q), 3)
+		forestsEqual(t, ref.Forest, res.Forest, "QD2", q.String())
+	}
+}
+
+// TestDeterministicRerun: identical config and data give a bit-identical
+// model on a fresh run.
+func TestDeterministicRerun(t *testing.T) {
+	ds := binaryData(t, 700, 25, 0.4)
+	a, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
+	b, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
+	forestsEqual(t, a.Forest, b.Forest, "run1", "run2")
+}
+
+// TestConcurrentClusterMatchesSequential: running workers on goroutines
+// must not change the model (order-normalized reductions).
+func TestConcurrentClusterMatchesSequential(t *testing.T) {
+	ds := binaryData(t, 700, 25, 0.4)
+	seq, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
+	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
+		cl := cluster.New(3, cluster.Gigabit(), cluster.WithConcurrent())
+		res, err := Train(cl, ds, smallConfig(q))
+		if err != nil {
+			t.Fatalf("%v concurrent: %v", q, err)
+		}
+		forestsEqual(t, seq.Forest, res.Forest, "sequential", "concurrent "+q.String())
+	}
+}
+
+// TestDeepTreesSmallData: L much deeper than the data supports — frontier
+// collapses early and the loop must terminate cleanly.
+func TestDeepTreesSmallData(t *testing.T) {
+	ds := binaryData(t, 60, 8, 0.8)
+	cfg := Config{Quadrant: QD4, Trees: 2, Layers: 12, Splits: 8}
+	cl := cluster.New(2, cluster.Gigabit())
+	res, err := Train(cl, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Forest.Trees[0].MaxDepth(); d > 12 {
+		t.Fatalf("tree depth %d exceeds L", d)
+	}
+}
+
+// TestGammaPrunesToStump: a huge gamma must stop all splitting, leaving
+// single-leaf trees whose weights still update predictions.
+func TestGammaPrunesToStump(t *testing.T) {
+	ds := binaryData(t, 300, 10, 0.5)
+	cfg := Config{Quadrant: QD2, Trees: 2, Layers: 5, Splits: 8, Gamma: 1e12}
+	cl := cluster.New(2, cluster.Gigabit())
+	res, err := Train(cl, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Forest.Trees {
+		if tr.NumLeaves() != 1 {
+			t.Fatalf("tree has %d leaves under gamma=1e12", tr.NumLeaves())
+		}
+	}
+}
+
+// TestMinChildHessLimitsLeaves: a large min-child constraint must keep
+// leaf instance counts above the threshold (hessian of logistic <= 1/4
+// per instance, so count >= 4*MinChildHess).
+func TestMinChildHessLimitsLeaves(t *testing.T) {
+	ds := binaryData(t, 500, 15, 0.5)
+	cfg := Config{Quadrant: QD4, Trees: 1, Layers: 6, Splits: 8, MinChildHess: 10}
+	cl := cluster.New(2, cluster.Gigabit())
+	res, err := Train(cl, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forest.Trees[0].NumLeaves() > 16 {
+		t.Fatalf("%d leaves despite MinChildHess", res.Forest.Trees[0].NumLeaves())
+	}
+}
+
+// TestRegressionAcrossQuadrants: square loss produces identical models in
+// every quadrant too.
+func TestRegressionAcrossQuadrants(t *testing.T) {
+	ds, err := datasets.SyntheticRegression(600, 15, 0.5, 0.1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(QD2)
+	cfg.Objective = "square"
+	ref, _ := trainQuadrant(t, ds, cfg, 3)
+	for _, q := range []Quadrant{QD1, QD3, QD4} {
+		cfg.Quadrant = q
+		res, _ := trainQuadrant(t, ds, cfg, 3)
+		forestsEqual(t, ref.Forest, res.Forest, "QD2", q.String())
+	}
+}
+
+// TestMultiClassAcrossQuadrants: softmax with vector leaves is identical
+// in every quadrant.
+func TestMultiClassAcrossQuadrants(t *testing.T) {
+	ds := multiData(t, 900, 25, 4)
+	ref, _ := trainQuadrant(t, ds, smallConfig(QD2), 3)
+	for _, q := range []Quadrant{QD1, QD3, QD4} {
+		res, _ := trainQuadrant(t, ds, smallConfig(q), 3)
+		forestsEqual(t, ref.Forest, res.Forest, "QD2", q.String())
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"vero/internal/histogram"
+	"vero/internal/tree"
+)
+
+// Horizontal quadrants (QD1: column-store + instance-to-node index;
+// QD2: row-store + node-to-instance index). Workers hold disjoint row
+// ranges with all features; histograms are built locally for every feature
+// and aggregated across workers (Figure 4(a)).
+
+// splitWireBytes is the serialized size of one best-split record
+// (feature id, bin, gain, default direction).
+const splitWireBytes = 24
+
+func (t *trainer) horizontalRootTotals() ([]float64, []float64) {
+	locals := make([][]float64, t.w)
+	t.cl.Parallel(phaseGrad, func(w int) {
+		acc := make([]float64, 2*t.c)
+		lo, hi := t.ranges[w][0], t.ranges[w][1]
+		for i := lo; i < hi; i++ {
+			for k := 0; k < t.c; k++ {
+				acc[k] += t.grads[i*t.c+k]
+				acc[t.c+k] += t.hessv[i*t.c+k]
+			}
+		}
+		locals[w] = acc
+	})
+	sum := t.cl.AllReduceSum(phaseGrad, locals)
+	return sum[:t.c], sum[t.c:]
+}
+
+// horizontalBuildHistograms constructs local histograms and aggregates
+// them per the configured method.
+func (t *trainer) horizontalBuildHistograms(toBuild []*nodeInfo) {
+	if t.cfg.Quadrant == QD2 {
+		// Row-store: per node, scan the node's instances (node-to-instance
+		// index) and aggregate immediately, keeping one transient local
+		// histogram per worker at a time.
+		for _, nd := range toBuild {
+			locals := make([]*histogram.Hist, t.w)
+			t.cl.Parallel(phaseHist, func(w int) {
+				h := histogram.New(t.layoutH)
+				shard := t.hRows[w]
+				base := t.ranges[w][0]
+				for _, inst := range t.hN2I[w].Instances(nd.id) {
+					feats, bins := shard.Row(int(inst))
+					gi := (base + int(inst)) * t.c
+					for k, f := range feats {
+						h.AddVec(int(f), int(bins[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+					}
+				}
+				locals[w] = h
+			})
+			t.aggregate(nd.id, locals)
+		}
+		return
+	}
+
+	// QD1 column-store: one pass over each worker's columns updates all
+	// build nodes at once, routing each (instance, bin) entry through the
+	// instance-to-node index. Workers fold their local histograms into
+	// shared accumulators right after their pass, so physical memory
+	// stays at two layers of histograms instead of W+1 (the logical
+	// per-worker copies are still charged to the memory gauge).
+	building := make(map[int32]int, len(toBuild)) // node id -> local slot
+	for i, nd := range toBuild {
+		building[nd.id] = i
+	}
+	acc := make([]*histogram.Hist, len(toBuild))
+	for i := range acc {
+		acc[i] = histogram.New(t.layoutH)
+	}
+	// merged[w] closes once worker w has folded its partials in; worker
+	// w+1 waits for it, so the floating-point reduction order is the
+	// worker order regardless of goroutine scheduling.
+	merged := make([]chan struct{}, t.w)
+	for w := range merged {
+		merged[w] = make(chan struct{})
+	}
+	t.cl.Parallel(phaseHist, func(w int) {
+		hs := make([]*histogram.Hist, len(toBuild))
+		for i := range hs {
+			hs[i] = histogram.New(t.layoutH)
+		}
+		cols := t.hCols[w]
+		i2n := t.hI2N[w]
+		base := t.ranges[w][0]
+		for j := 0; j < cols.Cols(); j++ {
+			insts, bins := cols.Col(j)
+			for k, inst := range insts {
+				slot, ok := building[i2n.Node(inst)]
+				if !ok {
+					continue
+				}
+				gi := (base + int(inst)) * t.c
+				hs[slot].AddVec(j, int(bins[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+			}
+		}
+		if w > 0 {
+			<-merged[w-1]
+		}
+		for i := range hs {
+			acc[i].Merge(hs[i])
+		}
+		close(merged[w])
+	})
+	mem := t.cl.Stats().Mem("histogram")
+	for i, nd := range toBuild {
+		t.chargeAggregation(t.layoutH.SizeBytes())
+		t.aggHist[nd.id] = acc[i]
+		for w := 0; w < t.w; w++ {
+			mem.Add(w, t.layoutH.SizeBytes())
+		}
+	}
+}
+
+// chargeAggregation records the histogram-aggregation cost of one node's
+// histograms (payload bytes) under the configured collective.
+func (t *trainer) chargeAggregation(payload int64) {
+	switch t.cfg.Aggregation {
+	case AggReduceScatter:
+		t.cl.ChargeReduceScatter(phaseHist, payload)
+	case AggParameterServer:
+		t.cl.ChargeShardedGather(phaseHist, payload, t.w)
+	default:
+		t.cl.ChargeAllReduce(phaseHist, payload)
+	}
+}
+
+// aggregate reduces per-worker histograms of one node into the aggregated
+// map, charging the configured collective.
+func (t *trainer) aggregate(node int32, locals []*histogram.Hist) {
+	gl := make([][]float64, t.w)
+	hl := make([][]float64, t.w)
+	for w, h := range locals {
+		gl[w] = h.Grad
+		hl[w] = h.Hess
+	}
+	var g, h []float64
+	switch t.cfg.Aggregation {
+	case AggReduceScatter:
+		g, _ = t.cl.ReduceScatterSum(phaseHist, gl)
+		h, _ = t.cl.ReduceScatterSum(phaseHist, hl)
+	case AggParameterServer:
+		g = t.cl.ShardedGatherSum(phaseHist, gl, t.w)
+		h = t.cl.ShardedGatherSum(phaseHist, hl, t.w)
+	default: // AggAllReduce
+		g = t.cl.AllReduceSum(phaseHist, gl)
+		h = t.cl.AllReduceSum(phaseHist, hl)
+	}
+	t.aggHist[node] = &histogram.Hist{Layout: t.layoutH, Grad: g, Hess: h}
+	mem := t.cl.Stats().Mem("histogram")
+	for w := 0; w < t.w; w++ {
+		mem.Add(w, t.layoutH.SizeBytes())
+	}
+}
+
+// horizontalFindSplits locates each frontier node's best split on the
+// aggregated histograms, with the work placed where the aggregation method
+// puts it: a leader for all-reduce, per-feature-shard workers for
+// reduce-scatter and the parameter servers.
+func (t *trainer) horizontalFindSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
+	out := make(map[int32]resolvedSplit, len(frontier))
+	switch t.cfg.Aggregation {
+	case AggReduceScatter, AggParameterServer:
+		// Each worker finds the best split over its feature shard; the
+		// global best is chosen from the exchanged local bests.
+		bests := make([]map[int32]histogram.Split, t.w)
+		per := (t.d + t.w - 1) / t.w
+		t.cl.Parallel(phaseSplit, func(w int) {
+			lo := min(w*per, t.d)
+			hi := min(lo+per, t.d)
+			m := make(map[int32]histogram.Split, len(frontier))
+			for _, nd := range frontier {
+				m[nd.id] = t.finder.FindBestInRange(t.aggHist[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal, lo, hi)
+			}
+			bests[w] = m
+		})
+		for _, nd := range frontier {
+			best := histogram.Split{}
+			for w := 0; w < t.w; w++ {
+				if s := bests[w][nd.id]; histogram.Prefer(s, best) {
+					best = s
+				}
+			}
+			out[nd.id] = resolvedSplit{node: nd.id, feature: best.Feature, bin: best.Bin,
+				gain: best.Gain, defaultLeft: best.DefaultLeft, valid: best.Valid}
+		}
+		t.cl.AllGatherSmall(phaseSplit, int64(len(frontier))*splitWireBytes)
+	default: // AggAllReduce: the leader scans all features.
+		t.cl.Parallel(phaseSplit, func(w int) {
+			if w != 0 {
+				return
+			}
+			for _, nd := range frontier {
+				s := t.finder.FindBest(t.aggHist[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal)
+				out[nd.id] = resolvedSplit{node: nd.id, feature: s.Feature, bin: s.Bin,
+					gain: s.Gain, defaultLeft: s.DefaultLeft, valid: s.Valid}
+			}
+		})
+		t.cl.Broadcast(phaseSplit, int64(len(frontier))*splitWireBytes)
+	}
+	return out
+}
+
+// horizontalApplyLayer updates each worker's local node/instance index;
+// every worker holds all features of its rows, so placements are computed
+// locally — no placement broadcast, only the (tiny) split records travel.
+func (t *trainer) horizontalApplyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+	t.cl.Broadcast(phaseNode, int64(len(splits))*splitWireBytes)
+	if t.cfg.Quadrant == QD2 {
+		t.cl.Parallel(phaseNode, func(w int) {
+			shard := t.hRows[w]
+			for parent, ch := range children {
+				sp := splits[parent]
+				t.hN2I[w].Split(parent, ch[0], ch[1], func(inst uint32) bool {
+					feats, bins := shard.Row(int(inst))
+					bin, ok := lookupBin(feats, bins, uint32(sp.feature))
+					if !ok {
+						return sp.defaultLeft
+					}
+					return int(bin) <= sp.bin
+				})
+			}
+		})
+		return
+	}
+	// QD1: instance-to-node updated in one pass; each instance's split
+	// feature value is found by binary search on its column (the
+	// column-store node-splitting cost of Section 3.2.3).
+	t.cl.Parallel(phaseNode, func(w int) {
+		cols := t.hCols[w]
+		i2n := t.hI2N[w]
+		i2n.SplitLayer(children, func(inst uint32) bool {
+			sp := splits[i2n.Node(inst)]
+			insts, bins := cols.Col(sp.feature)
+			bin, ok := searchColumn(insts, bins, inst)
+			if !ok {
+				return sp.defaultLeft
+			}
+			return int(bin) <= sp.bin
+		})
+	})
+}
+
+// horizontalChildStats computes counts and gradient totals of the new
+// children from local rows plus one small all-reduce.
+func (t *trainer) horizontalChildStats(nodes []*nodeInfo) {
+	stride := 2*t.c + 1 // totals + count
+	slot := make(map[int32]int, len(nodes))
+	for i, nd := range nodes {
+		slot[nd.id] = i
+	}
+	locals := make([][]float64, t.w)
+	if t.cfg.Quadrant == QD2 {
+		t.cl.Parallel(phaseNode, func(w int) {
+			acc := make([]float64, stride*len(nodes))
+			base := t.ranges[w][0]
+			for _, nd := range nodes {
+				o := slot[nd.id] * stride
+				for _, inst := range t.hN2I[w].Instances(nd.id) {
+					gi := (base + int(inst)) * t.c
+					for k := 0; k < t.c; k++ {
+						acc[o+k] += t.grads[gi+k]
+						acc[o+t.c+k] += t.hessv[gi+k]
+					}
+					acc[o+2*t.c]++
+				}
+			}
+			locals[w] = acc
+		})
+	} else {
+		t.cl.Parallel(phaseNode, func(w int) {
+			acc := make([]float64, stride*len(nodes))
+			i2n := t.hI2N[w]
+			base := t.ranges[w][0]
+			for inst := 0; inst < i2n.Len(); inst++ {
+				i, ok := slot[i2n.Node(uint32(inst))]
+				if !ok {
+					continue
+				}
+				o := i * stride
+				gi := (base + inst) * t.c
+				for k := 0; k < t.c; k++ {
+					acc[o+k] += t.grads[gi+k]
+					acc[o+t.c+k] += t.hessv[gi+k]
+				}
+				acc[o+2*t.c]++
+			}
+			locals[w] = acc
+		})
+	}
+	sum := t.cl.AllReduceSum(phaseNode, locals)
+	for i, nd := range nodes {
+		o := i * stride
+		nd.totalG = append([]float64(nil), sum[o:o+t.c]...)
+		nd.totalH = append([]float64(nil), sum[o+t.c:o+2*t.c]...)
+		nd.count = int(sum[o+2*t.c])
+	}
+}
+
+// horizontalUpdatePredictions adds the finished tree's leaf weights to the
+// raw scores of each worker's rows; the leaf weights travel in one small
+// broadcast.
+func (t *trainer) horizontalUpdatePredictions(tr *tree.Tree) {
+	t.cl.Broadcast(phaseUpdate, int64(tr.NumLeaves()*t.c)*8)
+	eta := t.cfg.LearningRate
+	if t.cfg.Quadrant == QD2 {
+		t.cl.Parallel(phaseUpdate, func(w int) {
+			base := t.ranges[w][0]
+			for id := range tr.Nodes {
+				n := &tr.Nodes[id]
+				if !n.IsLeaf() {
+					continue
+				}
+				for _, inst := range t.hN2I[w].Instances(int32(id)) {
+					gi := (base + int(inst)) * t.c
+					for k := 0; k < t.c; k++ {
+						t.preds[gi+k] += eta * n.Weights[k]
+					}
+				}
+			}
+		})
+		return
+	}
+	t.cl.Parallel(phaseUpdate, func(w int) {
+		i2n := t.hI2N[w]
+		base := t.ranges[w][0]
+		for inst := 0; inst < i2n.Len(); inst++ {
+			leaf := &tr.Nodes[i2n.Node(uint32(inst))]
+			gi := (base + inst) * t.c
+			for k := 0; k < t.c; k++ {
+				t.preds[gi+k] += eta * leaf.Weights[k]
+			}
+		}
+	})
+}
+
+// lookupBin binary-searches a sorted sparse row for a feature.
+func lookupBin(feats []uint32, bins []uint16, f uint32) (uint16, bool) {
+	lo, hi := 0, len(feats)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feats[mid] < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(feats) && feats[lo] == f {
+		return bins[lo], true
+	}
+	return 0, false
+}
+
+// searchColumn binary-searches a column's sorted instance list.
+func searchColumn(insts []uint32, bins []uint16, inst uint32) (uint16, bool) {
+	lo, hi := 0, len(insts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if insts[mid] < inst {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(insts) && insts[lo] == inst {
+		return bins[lo], true
+	}
+	return 0, false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+)
+
+// TestQuadrantEquivalenceProperty drives the cross-quadrant identity over
+// randomized shapes, class counts, densities, worker counts and
+// hyper-parameters — the strongest correctness check in the repository:
+// any divergence in histogram construction, aggregation, subtraction,
+// index maintenance, placement broadcasting or split selection in any
+// quadrant shows up as a structural tree difference.
+func TestQuadrantEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep in short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 2 + rng.Intn(4)
+		ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+			N:                300 + rng.Intn(500),
+			D:                10 + rng.Intn(60),
+			C:                c,
+			InformativeRatio: 0.2 + 0.6*rng.Float64(),
+			Density:          0.1 + 0.8*rng.Float64(),
+			Seed:             seed,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		cfg := Config{
+			Quadrant: QD2,
+			Trees:    2,
+			Layers:   3 + rng.Intn(3),
+			Splits:   4 + rng.Intn(16),
+			Lambda:   0.5 + rng.Float64(),
+			Gamma:    rng.Float64() * 0.1,
+		}
+		workers := 1 + rng.Intn(5)
+		train := func(q Quadrant) *Result {
+			cfg := cfg
+			cfg.Quadrant = q
+			cl := cluster.New(workers, cluster.Gigabit())
+			res, err := Train(cl, ds, cfg)
+			if err != nil {
+				t.Logf("seed %d quadrant %v: %v", seed, q, err)
+				return nil
+			}
+			return res
+		}
+		ref := train(QD2)
+		if ref == nil {
+			return false
+		}
+		for _, q := range []Quadrant{QD1, QD3, QD4} {
+			res := train(q)
+			if res == nil {
+				return false
+			}
+			if !forestsStructurallyEqual(ref, res) {
+				t.Logf("seed %d: %v diverged (N=%d D=%d C=%d L=%d q=%d W=%d)",
+					seed, q, ds.NumInstances(), ds.NumFeatures(), c, cfg.Layers, cfg.Splits, workers)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func forestsStructurallyEqual(a, b *Result) bool {
+	if a.Forest.NumTrees() != b.Forest.NumTrees() {
+		return false
+	}
+	for ti := range a.Forest.Trees {
+		ta, tb := a.Forest.Trees[ti], b.Forest.Trees[ti]
+		if len(ta.Nodes) != len(tb.Nodes) {
+			return false
+		}
+		for ni := range ta.Nodes {
+			na, nb := &ta.Nodes[ni], &tb.Nodes[ni]
+			if na.Feature != nb.Feature || na.SplitBin != nb.SplitBin || na.DefaultLeft != nb.DefaultLeft {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+	"vero/internal/histogram"
+	"vero/internal/index"
+	"vero/internal/loss"
+	"vero/internal/partition"
+	"vero/internal/sparse"
+	"vero/internal/tree"
+)
+
+// Phase labels used in the cluster's statistics.
+const (
+	phaseGrad   = "train.gradient"
+	phaseHist   = "train.histogram"
+	phaseSplit  = "train.split"
+	phaseNode   = "train.node"
+	phaseUpdate = "train.update"
+)
+
+const noParent = int32(-1)
+
+// nodeInfo tracks one active tree node during layer-wise growth.
+type nodeInfo struct {
+	id     int32
+	count  int
+	totalG []float64
+	totalH []float64
+	// buildDirect marks nodes whose histograms are constructed by
+	// scanning instances; the sibling of a built node is derived by
+	// subtraction when the quadrant supports it.
+	buildDirect bool
+	parent      int32
+}
+
+// resolvedSplit is a node's winning split translated to global feature ids.
+type resolvedSplit struct {
+	node        int32
+	feature     int // global feature id
+	bin         int
+	gain        float64
+	defaultLeft bool
+	valid       bool
+}
+
+type trainer struct {
+	cl  *cluster.Cluster
+	cfg Config
+	ds  *datasets.Dataset
+	obj loss.Objective
+
+	n, d, c, w int
+	finder     histogram.Finder
+
+	binner        *sparse.Binner
+	numBinsGlobal []int
+	maxBins       int
+
+	preds, grads, hessv []float64   // n*c, row-major
+	scratch             [][]float64 // per-worker redundant-compute buffers (vertical)
+
+	// Horizontal state (QD1/QD2).
+	ranges  [][2]int
+	hRows   []*sparse.BinnedCSR // QD2: per-worker row shards
+	hCols   []*sparse.BinnedCSC // QD1: per-worker column views of row shards
+	hN2I    []*index.NodeToInstance
+	hI2N    []*index.InstanceToNode
+	aggHist map[int32]*histogram.Hist
+	layoutH histogram.Layout
+
+	// Vertical state (QD3/QD4).
+	groups   [][]int
+	ownerOf  []int32             // global feature -> worker
+	slotOf   []int32             // global feature -> slot within its group
+	shards   []*partition.Shard  // QD4
+	fullRows *sparse.BinnedCSR   // QD4 FullCopy (feature-parallel)
+	vCols    []*sparse.BinnedCSC // QD3: per-worker full columns (slot-indexed)
+	vNumBins [][]int             // per worker, per slot
+	vN2I     []*index.NodeToInstance
+	vI2N     []*index.InstanceToNode // QD3 hybrid
+	vCW      []*index.ColumnWise     // QD3 column-wise (Yggdrasil)
+	vHist    []map[int32]*histogram.Hist
+	vLayout  []histogram.Layout
+
+	transformBytes partition.ByteReport
+}
+
+func (t *trainer) run() (*Result, error) {
+	initScore := t.obj.InitScore(t.ds.Labels)
+	t.preds = make([]float64, t.n*t.c)
+	for i := 0; i < t.n; i++ {
+		copy(t.preds[i*t.c:(i+1)*t.c], initScore)
+	}
+	t.grads = make([]float64, t.n*t.c)
+	t.hessv = make([]float64, t.n*t.c)
+	if t.cfg.Quadrant.Vertical() {
+		t.scratch = make([][]float64, t.w)
+		for w := 1; w < t.w; w++ {
+			t.scratch[w] = make([]float64, t.n*t.c)
+		}
+	}
+	forest := tree.NewForest(t.c, t.cfg.LearningRate, initScore, t.obj.Name(), t.d)
+
+	prepComp, prepComm, _ := t.cl.Stats().Totals()
+	lastComp, lastComm := prepComp, prepComm
+	res := &Result{Forest: forest, PrepSeconds: prepComp + prepComm, TransformBytes: t.transformBytes}
+
+	for ti := 0; ti < t.cfg.Trees; ti++ {
+		t.computeGradients()
+		tr := t.trainTree()
+		forest.Append(tr)
+		comp, comm, _ := t.cl.Stats().Totals()
+		res.PerTreeSeconds = append(res.PerTreeSeconds, (comp-lastComp)+(comm-lastComm))
+		lastComp, lastComm = comp, comm
+		if t.cfg.OnTree != nil {
+			t.cfg.OnTree(ti, (comp-prepComp)+(comm-prepComm), tr)
+		}
+		if t.cfg.ShouldStop != nil && t.cfg.ShouldStop(ti) {
+			break
+		}
+	}
+	comp, comm, _ := t.cl.Stats().Totals()
+	res.CompSeconds = comp
+	res.CommSeconds = comm
+	return res, nil
+}
+
+// computeGradients refreshes the per-instance gradient vectors. Horizontal
+// workers each process their own row range; vertical workers all process
+// every instance, because each needs the gradients of all instances to
+// build histograms for its feature subset (labels were broadcast for
+// exactly this purpose, Section 4.2.1 step 5).
+func (t *trainer) computeGradients() {
+	labels := t.ds.Labels
+	if t.cfg.Quadrant.Vertical() {
+		t.cl.Parallel(phaseGrad, func(w int) {
+			g, h := t.grads, t.hessv
+			if w != 0 {
+				g = t.scratch[w][:t.n*t.c]
+				h = t.scratch[w][:t.n*t.c] // same buffer: redundant work, discarded
+			}
+			for i := 0; i < t.n; i++ {
+				t.obj.GradHess(t.preds[i*t.c:(i+1)*t.c], labels[i], g[i*t.c:(i+1)*t.c], h[i*t.c:(i+1)*t.c])
+			}
+		})
+		return
+	}
+	t.cl.Parallel(phaseGrad, func(w int) {
+		lo, hi := t.ranges[w][0], t.ranges[w][1]
+		for i := lo; i < hi; i++ {
+			t.obj.GradHess(t.preds[i*t.c:(i+1)*t.c], labels[i], t.grads[i*t.c:(i+1)*t.c], t.hessv[i*t.c:(i+1)*t.c])
+		}
+	})
+}
+
+// trainTree grows one tree layer by layer.
+func (t *trainer) trainTree() *tree.Tree {
+	tr := tree.New(t.c)
+	t.resetIndexes()
+	t.clearHists()
+
+	root := &nodeInfo{id: tr.Root(), count: t.n, buildDirect: true, parent: noParent}
+	root.totalG, root.totalH = t.rootTotals()
+	frontier := []*nodeInfo{root}
+
+	for layer := 1; layer < t.cfg.Layers && len(frontier) > 0; layer++ {
+		var toBuild, toDerive []*nodeInfo
+		for _, nd := range frontier {
+			if nd.buildDirect {
+				toBuild = append(toBuild, nd)
+			} else {
+				toDerive = append(toDerive, nd)
+			}
+		}
+		t.buildHistograms(toBuild)
+		t.deriveHistograms(toDerive)
+		splits := t.findSplits(frontier)
+		frontier = t.applySplits(tr, frontier, splits)
+	}
+	for _, nd := range frontier {
+		t.setLeaf(tr, nd)
+		t.dropHist(nd.id)
+	}
+	t.updatePredictions(tr)
+	return tr
+}
+
+func (t *trainer) setLeaf(tr *tree.Tree, nd *nodeInfo) {
+	tr.SetLeaf(nd.id, t.finder.LeafWeights(nd.totalG, nd.totalH))
+}
+
+// applySplits finalizes leaves, splits the rest, propagates placements and
+// computes child statistics. It returns the next layer's frontier.
+func (t *trainer) applySplits(tr *tree.Tree, frontier []*nodeInfo, splits map[int32]resolvedSplit) []*nodeInfo {
+	type splitJob struct {
+		parent *nodeInfo
+		sp     resolvedSplit
+		left   int32
+		right  int32
+	}
+	var jobs []*splitJob
+	for _, nd := range frontier {
+		sp, ok := splits[nd.id]
+		if !ok || !sp.valid {
+			t.setLeaf(tr, nd)
+			t.dropHist(nd.id)
+			continue
+		}
+		splitValue := t.binner.Splits[sp.feature][sp.bin]
+		l, r := tr.Split(nd.id, int32(sp.feature), splitValue, uint16(sp.bin), sp.defaultLeft, sp.gain)
+		jobs = append(jobs, &splitJob{parent: nd, sp: sp, left: l, right: r})
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+
+	layerSplits := make(map[int32]resolvedSplit, len(jobs))
+	children := make(map[int32][2]int32, len(jobs))
+	for _, j := range jobs {
+		layerSplits[j.parent.id] = j.sp
+		children[j.parent.id] = [2]int32{j.left, j.right}
+	}
+	t.applyLayer(layerSplits, children)
+
+	// QD1 cannot exploit subtraction: drop parent histograms now.
+	if t.cfg.Quadrant == QD1 {
+		for _, j := range jobs {
+			t.dropHist(j.parent.id)
+		}
+	}
+
+	var next []*nodeInfo
+	for _, j := range jobs {
+		left := &nodeInfo{id: j.left, parent: j.parent.id}
+		right := &nodeInfo{id: j.right, parent: j.parent.id}
+		next = append(next, left, right)
+	}
+	t.childStats(next)
+	// Histogram subtraction schedule: build the smaller child, derive the
+	// sibling (Section 2.1.2). Without subtraction both children build.
+	for i := 0; i < len(next); i += 2 {
+		l, r := next[i], next[i+1]
+		if t.cfg.Quadrant == QD1 {
+			l.buildDirect, r.buildDirect = true, true
+			continue
+		}
+		if l.count <= r.count {
+			l.buildDirect = true
+		} else {
+			r.buildDirect = true
+		}
+	}
+	return next
+}
+
+// histMapFor abstracts over the aggregated map (horizontal) and the
+// per-worker maps (vertical).
+func (t *trainer) clearHists() {
+	g := t.cl.Stats().Mem("histogram")
+	if t.cfg.Quadrant.Vertical() {
+		for w := range t.vHist {
+			for id := range t.vHist[w] {
+				g.Add(w, -t.vLayout[w].SizeBytes())
+				delete(t.vHist[w], id)
+			}
+		}
+		return
+	}
+	for id := range t.aggHist {
+		for w := 0; w < t.w; w++ {
+			g.Add(w, -t.layoutH.SizeBytes())
+		}
+		delete(t.aggHist, id)
+	}
+}
+
+func (t *trainer) dropHist(id int32) {
+	g := t.cl.Stats().Mem("histogram")
+	if t.cfg.Quadrant.Vertical() {
+		for w := range t.vHist {
+			if _, ok := t.vHist[w][id]; ok {
+				g.Add(w, -t.vLayout[w].SizeBytes())
+				delete(t.vHist[w], id)
+			}
+		}
+		return
+	}
+	if _, ok := t.aggHist[id]; ok {
+		for w := 0; w < t.w; w++ {
+			g.Add(w, -t.layoutH.SizeBytes())
+		}
+		delete(t.aggHist, id)
+	}
+}
+
+// deriveHistograms computes each node's histogram as parent minus built
+// sibling, reusing the parent's storage (the parent entry is consumed).
+func (t *trainer) deriveHistograms(toDerive []*nodeInfo) {
+	if len(toDerive) == 0 {
+		return
+	}
+	if t.cfg.Quadrant.Vertical() {
+		t.cl.Parallel(phaseHist, func(w int) {
+			hm := t.vHist[w]
+			for _, nd := range toDerive {
+				parent := hm[nd.parent]
+				sibling := hm[siblingOf(nd)]
+				parent.Sub(sibling)
+				hm[nd.id] = parent
+				delete(hm, nd.parent)
+			}
+		})
+		return
+	}
+	t.cl.Parallel(phaseHist, func(w int) {
+		if w != 0 {
+			return // aggregated histograms are logically replicated; derive once
+		}
+		for _, nd := range toDerive {
+			parent := t.aggHist[nd.parent]
+			sibling := t.aggHist[siblingOf(nd)]
+			parent.Sub(sibling)
+			t.aggHist[nd.id] = parent
+			delete(t.aggHist, nd.parent)
+		}
+	})
+}
+
+// siblingOf returns the sibling's node id: children are always created in
+// pairs (left = parent's recorded left child).
+func siblingOf(nd *nodeInfo) int32 {
+	// Children pairs are allocated adjacently by tree.Split: left is even
+	// offset, right = left+1. The derive node's sibling is the adjacent id.
+	if nd.id%2 == 1 { // left children have odd ids (root=0, then 1,2,3,4...)
+		return nd.id + 1
+	}
+	return nd.id - 1
+}
+
+// dispatch methods — quadrant-specific implementations live in
+// horizontal.go and vertical.go.
+
+func (t *trainer) resetIndexes() {
+	switch t.cfg.Quadrant {
+	case QD1:
+		for _, idx := range t.hI2N {
+			idx.Reset()
+		}
+	case QD2:
+		for _, idx := range t.hN2I {
+			idx.Reset()
+		}
+	case QD3:
+		for _, idx := range t.vN2I {
+			idx.Reset()
+		}
+		for _, idx := range t.vI2N {
+			idx.Reset()
+		}
+		for _, idx := range t.vCW {
+			idx.Reset()
+		}
+	case QD4:
+		for _, idx := range t.vN2I {
+			idx.Reset()
+		}
+	}
+}
+
+func (t *trainer) rootTotals() ([]float64, []float64) {
+	if t.cfg.Quadrant.Vertical() {
+		return t.verticalRootTotals()
+	}
+	return t.horizontalRootTotals()
+}
+
+func (t *trainer) buildHistograms(toBuild []*nodeInfo) {
+	if len(toBuild) == 0 {
+		return
+	}
+	if t.cfg.Quadrant.Vertical() {
+		t.verticalBuildHistograms(toBuild)
+		return
+	}
+	t.horizontalBuildHistograms(toBuild)
+}
+
+func (t *trainer) findSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
+	if t.cfg.Quadrant.Vertical() {
+		return t.verticalFindSplits(frontier)
+	}
+	return t.horizontalFindSplits(frontier)
+}
+
+func (t *trainer) applyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+	if t.cfg.Quadrant.Vertical() {
+		t.verticalApplyLayer(splits, children)
+		return
+	}
+	t.horizontalApplyLayer(splits, children)
+}
+
+func (t *trainer) childStats(nodes []*nodeInfo) {
+	if t.cfg.Quadrant.Vertical() {
+		t.verticalChildStats(nodes)
+		return
+	}
+	t.horizontalChildStats(nodes)
+}
+
+func (t *trainer) updatePredictions(tr *tree.Tree) {
+	if t.cfg.Quadrant.Vertical() {
+		t.verticalUpdatePredictions(tr)
+		return
+	}
+	t.horizontalUpdatePredictions(tr)
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"math/bits"
+
+	"vero/internal/bitmap"
+	"vero/internal/histogram"
+	"vero/internal/tree"
+)
+
+// Vertical quadrants (QD3: column-store; QD4: row-store — Vero). Workers
+// hold complete columns for disjoint feature subsets, find local best
+// splits without histogram aggregation, and broadcast instance placements
+// as one bitmap per layer (Figure 4(b)).
+
+func (t *trainer) verticalRootTotals() ([]float64, []float64) {
+	g := make([]float64, t.c)
+	h := make([]float64, t.c)
+	t.cl.Parallel(phaseGrad, func(w int) {
+		// Every worker computes the same totals from its gradient copy;
+		// worker 0's result is adopted.
+		lg := make([]float64, t.c)
+		lh := make([]float64, t.c)
+		for i := 0; i < t.n; i++ {
+			for k := 0; k < t.c; k++ {
+				lg[k] += t.grads[i*t.c+k]
+				lh[k] += t.hessv[i*t.c+k]
+			}
+		}
+		if w == 0 {
+			copy(g, lg)
+			copy(h, lh)
+		}
+	})
+	return g, h
+}
+
+// rowOf returns the (slot, bin) pairs of one instance on one worker for
+// the row-store quadrants (QD4 and feature-parallel).
+func (t *trainer) rowBins(w int, inst uint32) (feat []uint32, bin []uint16) {
+	if t.cfg.FullCopy {
+		return t.fullRows.Row(int(inst))
+	}
+	return t.shards[w].Data.Row(int(inst))
+}
+
+func (t *trainer) verticalBuildHistograms(toBuild []*nodeInfo) {
+	mem := t.cl.Stats().Mem("histogram")
+	t.cl.Parallel(phaseHist, func(w int) {
+		for _, nd := range toBuild {
+			h := histogram.New(t.vLayout[w])
+			mem.Add(w, t.vLayout[w].SizeBytes())
+			switch {
+			case t.cfg.Quadrant == QD4 && !t.cfg.FullCopy:
+				t.buildRowStore(w, nd, h)
+			case t.cfg.Quadrant == QD4: // feature-parallel full copy
+				t.buildFullCopy(w, nd, h)
+			case t.cfg.ColumnIndex == IndexColumnWise:
+				t.buildColumnWise(w, nd, h)
+			default:
+				t.buildHybrid(w, nd, h)
+			}
+			t.vHist[w][nd.id] = h
+		}
+	})
+}
+
+// buildRowStore scans the node's instances through the blockified rows —
+// Vero's histogram construction (node-to-instance index + row-store).
+func (t *trainer) buildRowStore(w int, nd *nodeInfo, h *histogram.Hist) {
+	data := t.shards[w].Data
+	for _, inst := range t.vN2I[w].Instances(nd.id) {
+		feats, binsArr := data.Row(int(inst))
+		gi := int(inst) * t.c
+		for k, slot := range feats {
+			h.AddVec(int(slot), int(binsArr[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+		}
+	}
+}
+
+// buildFullCopy scans full rows but accumulates only the worker's assigned
+// features — LightGBM feature-parallel (Appendix D).
+func (t *trainer) buildFullCopy(w int, nd *nodeInfo, h *histogram.Hist) {
+	for _, inst := range t.vN2I[w].Instances(nd.id) {
+		feats, binsArr := t.fullRows.Row(int(inst))
+		gi := int(inst) * t.c
+		for k, f := range feats {
+			if t.ownerOf[f] != int32(w) {
+				continue
+			}
+			h.AddVec(int(t.slotOf[f]), int(binsArr[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+		}
+	}
+}
+
+// buildColumnWise reads each column's node entries directly from the
+// column-wise node-to-instance index (Yggdrasil's plan).
+func (t *trainer) buildColumnWise(w int, nd *nodeInfo, h *histogram.Hist) {
+	cols := t.vCols[w]
+	cw := t.vCW[w]
+	for j := 0; j < cols.Cols(); j++ {
+		insts, binsArr := cols.Col(j)
+		for _, pos := range cw.Entries(j, nd.id) {
+			inst := insts[pos]
+			gi := int(inst) * t.c
+			h.AddVec(j, int(binsArr[pos]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+		}
+	}
+}
+
+// buildHybrid is the paper's optimized QD3 plan (Section 5.2.2): columns
+// with few values are scanned linearly against the instance-to-node index;
+// long columns are probed by binary search from the node's instance list.
+func (t *trainer) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
+	cols := t.vCols[w]
+	i2n := t.vI2N[w]
+	nodeInsts := t.vN2I[w].Instances(nd.id)
+	for j := 0; j < cols.Cols(); j++ {
+		insts, binsArr := cols.Col(j)
+		colLen := len(insts)
+		if colLen == 0 {
+			continue
+		}
+		searchCost := len(nodeInsts) * (bits.Len(uint(colLen)) + 1)
+		if colLen <= searchCost {
+			// Linear scan, filtering by the instance-to-node index.
+			for k, inst := range insts {
+				if i2n.Node(inst) != nd.id {
+					continue
+				}
+				gi := int(inst) * t.c
+				h.AddVec(j, int(binsArr[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+			}
+			continue
+		}
+		for _, inst := range nodeInsts {
+			bin, ok := searchColumn(insts, binsArr, inst)
+			if !ok {
+				continue
+			}
+			gi := int(inst) * t.c
+			h.AddVec(j, int(bin), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+		}
+	}
+}
+
+// verticalFindSplits has each worker find the best split over its own
+// feature subset, then exchanges the local bests (Section 2.2.1).
+func (t *trainer) verticalFindSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
+	bests := make([]map[int32]histogram.Split, t.w)
+	t.cl.Parallel(phaseSplit, func(w int) {
+		m := make(map[int32]histogram.Split, len(frontier))
+		for _, nd := range frontier {
+			m[nd.id] = t.finder.FindBest(t.vHist[w][nd.id], nd.totalG, nd.totalH, t.vNumBins[w])
+		}
+		bests[w] = m
+	})
+	t.cl.AllGatherSmall(phaseSplit, int64(len(frontier))*splitWireBytes)
+	out := make(map[int32]resolvedSplit, len(frontier))
+	for _, nd := range frontier {
+		best := histogram.Split{}
+		for w := 0; w < t.w; w++ {
+			s := bests[w][nd.id]
+			if !s.Valid {
+				continue
+			}
+			s.Feature = t.groups[w][s.Feature] // slot -> global id
+			if histogram.Prefer(s, best) {
+				best = s
+			}
+		}
+		out[nd.id] = resolvedSplit{node: nd.id, feature: best.Feature, bin: best.Bin,
+			gain: best.Gain, defaultLeft: best.DefaultLeft, valid: best.Valid}
+	}
+	return out
+}
+
+// verticalApplyLayer computes instance placements at the split owners,
+// broadcasts them as one N-bit bitmap per layer (Section 3.1.3), and
+// updates every worker's indexes. Feature-parallel skips the broadcast:
+// every worker evaluates placements on its full copy.
+func (t *trainer) verticalApplyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+	if t.cfg.FullCopy {
+		t.cl.Parallel(phaseNode, func(w int) {
+			for parent, ch := range children {
+				sp := splits[parent]
+				t.vN2I[w].Split(parent, ch[0], ch[1], func(inst uint32) bool {
+					feats, binsArr := t.fullRows.Row(int(inst))
+					bin, ok := lookupBin(feats, binsArr, uint32(sp.feature))
+					if !ok {
+						return sp.defaultLeft
+					}
+					return int(bin) <= sp.bin
+				})
+			}
+		})
+		return
+	}
+
+	// Each split's owner fills the placement bits for its node; merging
+	// the per-worker bitmaps yields the layer's placement.
+	parts := make([]*bitmap.Bitmap, t.w)
+	t.cl.Parallel(phaseNode, func(w int) {
+		bm := bitmap.New(t.n)
+		for parent := range children {
+			sp := splits[parent]
+			if t.ownerOf[sp.feature] != int32(w) {
+				continue
+			}
+			t.fillPlacement(w, parent, sp, bm)
+		}
+		parts[w] = bm
+	})
+	placement := parts[0]
+	for w := 1; w < t.w; w++ {
+		for i := range placement.Len() {
+			if parts[w].Get(i) {
+				placement.Set(i)
+			}
+		}
+	}
+	t.cl.Broadcast(phaseNode, int64(placement.SizeBytes()))
+
+	goesLeft := func(inst uint32) bool { return placement.Get(int(inst)) }
+	t.cl.Parallel(phaseNode, func(w int) {
+		for parent, ch := range children {
+			t.vN2I[w].Split(parent, ch[0], ch[1], goesLeft)
+			if t.cfg.Quadrant == QD3 && t.cfg.ColumnIndex == IndexColumnWise {
+				cols := t.vCols[w]
+				t.vCW[w].Split(parent, ch[0], ch[1], goesLeft, func(col int, pos uint32) uint32 {
+					insts, _ := cols.Col(col)
+					return insts[pos]
+				})
+			}
+		}
+		if t.cfg.Quadrant == QD3 {
+			t.vI2N[w].SplitLayer(children, goesLeft)
+		}
+	})
+}
+
+// fillPlacement writes the left/right bits of one splitting node, owned by
+// worker w (set bit = left child).
+func (t *trainer) fillPlacement(w int, parent int32, sp resolvedSplit, bm *bitmap.Bitmap) {
+	insts := t.vN2I[w].Instances(parent)
+	if sp.defaultLeft {
+		for _, inst := range insts {
+			bm.Set(int(inst))
+		}
+	}
+	slot := int(t.slotOf[sp.feature])
+	if t.cfg.Quadrant == QD4 {
+		data := t.shards[w].Data
+		for _, inst := range insts {
+			feats, binsArr := data.Row(int(inst))
+			bin, ok := lookupBin(feats, binsArr, uint32(slot))
+			if !ok {
+				continue // stays at the default direction
+			}
+			bm.SetTo(int(inst), int(bin) <= sp.bin)
+		}
+		return
+	}
+	// QD3: the owner holds the split feature's full column; one linear
+	// pass with node-membership checks places every present value.
+	insts2, binsArr := t.vCols[w].Col(slot)
+	i2n := t.vI2N[w]
+	for k, inst := range insts2 {
+		if i2n.Node(inst) != parent {
+			continue
+		}
+		bm.SetTo(int(inst), int(binsArr[k]) <= sp.bin)
+	}
+}
+
+// verticalChildStats recomputes child totals from the (identical)
+// per-worker gradient copies; worker 0's result is adopted.
+func (t *trainer) verticalChildStats(nodes []*nodeInfo) {
+	stride := 2 * t.c
+	sums := make([]float64, stride*len(nodes))
+	counts := make([]int, len(nodes))
+	t.cl.Parallel(phaseNode, func(w int) {
+		local := make([]float64, stride*len(nodes))
+		for i, nd := range nodes {
+			insts := t.vN2I[w].Instances(nd.id)
+			o := i * stride
+			for _, inst := range insts {
+				gi := int(inst) * t.c
+				for k := 0; k < t.c; k++ {
+					local[o+k] += t.grads[gi+k]
+					local[o+t.c+k] += t.hessv[gi+k]
+				}
+			}
+			if w == 0 {
+				counts[i] = len(insts)
+			}
+		}
+		if w == 0 {
+			copy(sums, local)
+		}
+	})
+	for i, nd := range nodes {
+		o := i * stride
+		nd.totalG = append([]float64(nil), sums[o:o+t.c]...)
+		nd.totalH = append([]float64(nil), sums[o+t.c:o+stride]...)
+		nd.count = counts[i]
+	}
+}
+
+// verticalUpdatePredictions applies leaf weights through the (identical)
+// node-to-instance indexes; every worker performs the update on its own
+// prediction copy.
+func (t *trainer) verticalUpdatePredictions(tr *tree.Tree) {
+	eta := t.cfg.LearningRate
+	t.cl.Parallel(phaseUpdate, func(w int) {
+		preds := t.preds
+		if w != 0 {
+			preds = t.scratch[w]
+		}
+		for id := range tr.Nodes {
+			n := &tr.Nodes[id]
+			if !n.IsLeaf() {
+				continue
+			}
+			for _, inst := range t.vN2I[w].Instances(int32(id)) {
+				gi := int(inst) * t.c
+				for k := 0; k < t.c; k++ {
+					preds[gi+k] += eta * n.Weights[k]
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Package costmodel implements the closed-form memory and communication
+// cost model of Section 3.1 of the paper, used both to sanity-check the
+// simulator and to reproduce the worked example of Section 3.1.4 (the Age
+// dataset).
+package costmodel
+
+import "fmt"
+
+// Workload describes one training configuration in the paper's notation.
+type Workload struct {
+	N int64 // instances
+	D int64 // features
+	W int64 // workers
+	L int64 // tree layers
+	Q int64 // candidate splits per feature
+	C int64 // gradient dimension (1 binary, #classes multi)
+}
+
+func (w Workload) validate() error {
+	if w.N <= 0 || w.D <= 0 || w.W <= 0 || w.L < 2 || w.Q <= 0 || w.C <= 0 {
+		return fmt.Errorf("costmodel: invalid workload %+v", w)
+	}
+	return nil
+}
+
+// HistogramBytes returns Sizehist, the per-node gradient-histogram size:
+// 2 sides x D features x q bins x C classes x 8 bytes (Section 3.1.1).
+func (w Workload) HistogramBytes() int64 {
+	return 2 * w.D * w.Q * w.C * 8
+}
+
+// HorizontalMemoryBytes returns the per-worker histogram memory of
+// horizontal partitioning: Sizehist x 2^(L-2), the histograms of the
+// last-but-one layer retained for subtraction (Section 3.1.2).
+func (w Workload) HorizontalMemoryBytes() int64 {
+	return w.HistogramBytes() * (1 << uint(w.L-2))
+}
+
+// VerticalMemoryBytes returns the expected per-worker histogram memory of
+// vertical partitioning: the horizontal cost divided by W, since each
+// worker only holds histograms for its feature subset.
+func (w Workload) VerticalMemoryBytes() int64 {
+	return w.HorizontalMemoryBytes() / w.W
+}
+
+// HorizontalCommBytesPerTree returns the total histogram-aggregation
+// volume for one tree under horizontal partitioning:
+// Sizehist x W x (2^(L-1) - 1) (Section 3.1.3; every node of the first
+// L-1 layers aggregates a full histogram from every worker).
+func (w Workload) HorizontalCommBytesPerTree() int64 {
+	return w.HistogramBytes() * w.W * ((1 << uint(w.L-1)) - 1)
+}
+
+// VerticalCommBytesPerTree returns the placement-broadcast volume for one
+// tree under vertical partitioning: ceil(N/8) x W x L bytes
+// (Section 3.1.3; one bitmap per layer, broadcast to W workers).
+func (w Workload) VerticalCommBytesPerTree() int64 {
+	return (w.N + 7) / 8 * w.W * w.L
+}
+
+// Report summarizes the model's four headline quantities.
+type Report struct {
+	HistogramBytes             int64
+	HorizontalMemoryBytes      int64
+	VerticalMemoryBytes        int64
+	HorizontalCommBytesPerTree int64
+	VerticalCommBytesPerTree   int64
+}
+
+// Analyze validates the workload and computes the full report.
+func Analyze(w Workload) (Report, error) {
+	if err := w.validate(); err != nil {
+		return Report{}, err
+	}
+	return Report{
+		HistogramBytes:             w.HistogramBytes(),
+		HorizontalMemoryBytes:      w.HorizontalMemoryBytes(),
+		VerticalMemoryBytes:        w.VerticalMemoryBytes(),
+		HorizontalCommBytesPerTree: w.HorizontalCommBytesPerTree(),
+		VerticalCommBytesPerTree:   w.VerticalCommBytesPerTree(),
+	}, nil
+}
+
+// AgeExample returns the workload of the paper's Section 3.1.4 worked
+// example: the Tencent Age dataset on 8 workers (48M instances, 330K
+// features, 9 classes, 8-layer trees, 20 candidate splits).
+func AgeExample() Workload {
+	return Workload{N: 48_000_000, D: 330_000, W: 8, L: 8, Q: 20, C: 9}
+}
+
+// Crossover returns the feature dimensionality at which vertical
+// partitioning's per-tree communication volume undercuts horizontal's,
+// holding the rest of the workload fixed. It solves
+// Sizehist(D) * W * (2^(L-1)-1) = ceil(N/8) * W * L for D.
+func Crossover(w Workload) int64 {
+	perFeature := 2 * w.Q * w.C * 8 * ((int64(1) << uint(w.L-1)) - 1)
+	vertical := (w.N + 7) / 8 * w.L
+	if perFeature == 0 {
+		return 0
+	}
+	d := vertical / perFeature
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

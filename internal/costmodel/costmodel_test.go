@@ -1,0 +1,103 @@
+package costmodel
+
+import "testing"
+
+// TestAgeExample reproduces the numbers of Section 3.1.4 verbatim:
+// "the estimated size of histograms on one tree node can be up to 906MB...
+// the memory consumption would be 56.6GB and the total communication cost
+// would be 900GB... the expected memory cost of histograms is 7.08GB per
+// tree and the communication cost is merely 366MB for one tree."
+func TestAgeExample(t *testing.T) {
+	r, err := Analyze(AgeExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const MiB = 1 << 20
+	const GiB = 1 << 30
+
+	if got := float64(r.HistogramBytes) / MiB; got < 905 || got > 908 {
+		t.Errorf("Sizehist = %.1f MiB, paper says ~906 MB", got)
+	}
+	if got := float64(r.HorizontalMemoryBytes) / GiB; got < 56.5 || got > 56.8 {
+		t.Errorf("horizontal memory = %.1f GiB, paper says 56.6 GB", got)
+	}
+	if got := float64(r.VerticalMemoryBytes) / GiB; got < 7.0 || got > 7.1 {
+		t.Errorf("vertical memory = %.2f GiB, paper says 7.08 GB", got)
+	}
+	if got := float64(r.HorizontalCommBytesPerTree) / GiB; got < 890 || got > 905 {
+		t.Errorf("horizontal comm = %.0f GiB/tree, paper says ~900 GB", got)
+	}
+	if got := float64(r.VerticalCommBytesPerTree) / MiB; got < 365 || got > 367 {
+		t.Errorf("vertical comm = %.1f MiB/tree, paper says 366 MB", got)
+	}
+}
+
+func TestHistogramBytesFormula(t *testing.T) {
+	w := Workload{N: 1000, D: 100, W: 4, L: 8, Q: 20, C: 2}
+	if got := w.HistogramBytes(); got != 2*100*20*2*8 {
+		t.Fatalf("HistogramBytes = %d", got)
+	}
+}
+
+func TestMemoryRatioIsW(t *testing.T) {
+	w := Workload{N: 1000, D: 4096, W: 8, L: 9, Q: 20, C: 3}
+	if w.HorizontalMemoryBytes() != 8*w.VerticalMemoryBytes() {
+		t.Fatal("vertical memory is not horizontal / W")
+	}
+}
+
+func TestHorizontalCommGrowsExponentiallyWithDepth(t *testing.T) {
+	base := Workload{N: 1000, D: 100, W: 4, L: 8, Q: 20, C: 1}
+	deep := base
+	deep.L = 9
+	// 2^(L-1)-1 nearly doubles per extra layer.
+	ratio := float64(deep.HorizontalCommBytesPerTree()) / float64(base.HorizontalCommBytesPerTree())
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("depth ratio = %v, want ~2", ratio)
+	}
+	// Vertical grows only linearly: 9/8.
+	vr := float64(deep.VerticalCommBytesPerTree()) / float64(base.VerticalCommBytesPerTree())
+	if vr < 1.1 || vr > 1.2 {
+		t.Fatalf("vertical depth ratio = %v, want 1.125", vr)
+	}
+}
+
+func TestVerticalCommIndependentOfDimAndClasses(t *testing.T) {
+	a := Workload{N: 5000, D: 100, W: 4, L: 8, Q: 20, C: 2}
+	b := a
+	b.D = 100000
+	b.C = 50
+	if a.VerticalCommBytesPerTree() != b.VerticalCommBytesPerTree() {
+		t.Fatal("vertical comm depends on D or C")
+	}
+	if a.HorizontalCommBytesPerTree() >= b.HorizontalCommBytesPerTree() {
+		t.Fatal("horizontal comm not increasing in D and C")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Workload{}); err == nil {
+		t.Fatal("Analyze accepted zero workload")
+	}
+	if _, err := Analyze(Workload{N: 1, D: 1, W: 1, L: 1, Q: 1, C: 1}); err == nil {
+		t.Fatal("Analyze accepted L=1")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	w := Workload{N: 50_000_000, D: 0, W: 8, L: 8, Q: 20, C: 2}
+	d := Crossover(w)
+	if d < 1 {
+		t.Fatalf("crossover = %d", d)
+	}
+	// At the crossover dimensionality the two costs are within one
+	// per-feature quantum of each other.
+	w.D = d
+	h := w.HorizontalCommBytesPerTree()
+	v := w.VerticalCommBytesPerTree()
+	w.D = d + 1
+	h2 := w.HorizontalCommBytesPerTree()
+	if !(h <= v && h2 > v) {
+		t.Fatalf("crossover mislocated: h(d)=%d v=%d h(d+1)=%d", h, v, h2)
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+	"vero/internal/partition"
+	"vero/internal/systems"
+)
+
+// Table5Row is one dataset's transformation cost breakdown (appendix A):
+// the simulated seconds of each preprocessing step, with the repartition
+// step under all three wire variants.
+type Table5Row struct {
+	Dataset        string
+	LoadSeconds    float64 // sketch building (data loading analogue)
+	SplitsSeconds  float64 // candidate-split generation + broadcast
+	RepartitionSec map[partition.Variant]float64
+	LabelSeconds   float64
+	// Volumes in MB for the three variants.
+	RepartitionMB map[partition.Variant]float64
+}
+
+// Table5 reproduces the transformation-efficiency study on RCV1-,
+// RCV1-multi- and Synthesis-like datasets.
+func Table5(scale float64) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, name := range []string{"rcv1", "rcv1-multi", "synthesis"} {
+		ds, err := loadScaled(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{
+			Dataset:        name,
+			RepartitionSec: make(map[partition.Variant]float64),
+			RepartitionMB:  make(map[partition.Variant]float64),
+		}
+		for _, variant := range []partition.Variant{partition.VariantNaive, partition.VariantCompressed, partition.VariantBlockified} {
+			cl := cluster.New(8, cluster.Gigabit())
+			res, err := partition.Transform(cl, ds.X, ds.Labels, partition.Options{Q: 20, Charge: variant})
+			if err != nil {
+				return nil, err
+			}
+			// Simulated network time only: the encoding CPU time is
+			// reported separately (it is identical across variants since
+			// all three build the same blocks).
+			repart := cl.Stats().Phase("transform.repartition")
+			row.RepartitionSec[variant] = repart.CommSeconds
+			switch variant {
+			case partition.VariantNaive:
+				row.RepartitionMB[variant] = float64(res.Bytes.NaiveShuffle) / (1 << 20)
+			case partition.VariantCompressed:
+				row.RepartitionMB[variant] = float64(res.Bytes.CompressedShuffle) / (1 << 20)
+			default:
+				row.RepartitionMB[variant] = float64(res.Bytes.BlockifiedShuffle) / (1 << 20)
+			}
+			if variant == partition.VariantBlockified {
+				sk := cl.Stats().Phase("transform.sketch")
+				sp := cl.Stats().Phase("transform.splits")
+				lb := cl.Stats().Phase("transform.labels")
+				row.LoadSeconds = sk.CompSeconds + sk.CommSeconds
+				row.SplitsSeconds = sp.CompSeconds + sp.CommSeconds
+				row.LabelSeconds = lb.CompSeconds + lb.CommSeconds
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table6Row is one scalability measurement (appendix B).
+type Table6Row struct {
+	Dataset string
+	Workers int
+	Seconds float64 // per tree
+	Speedup float64 // vs the 2-worker run
+}
+
+// Table6 reproduces the scalability test: Vero on the Synthesis-N10M and
+// Synthesis-D25K subsets with 2-8 machines.
+func Table6(scale float64) ([]Table6Row, error) {
+	// Subsets of the Synthesis simulacrum, as the appendix takes subsets
+	// of Synthesis: N-subset keeps 40% of rows, D-subset 25% of columns.
+	desc, err := datasets.Describe("synthesis")
+	if err != nil {
+		return nil, err
+	}
+	subsets := []struct {
+		label string
+		n, d  int
+	}{
+		{"synthesis-n10m", scaleN(desc.SimN*2/5, scale), desc.SimD},
+		{"synthesis-d25k", scaleN(desc.SimN, scale), desc.SimD / 4},
+	}
+	var rows []Table6Row
+	for _, sub := range subsets {
+		ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+			N: sub.n, D: sub.d, C: 2,
+			InformativeRatio: 0.2, Density: desc.SimDensity, Seed: 1001,
+			LabelNoise: desc.LabelNoise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var base float64
+		for _, w := range []int{2, 4, 6, 8} {
+			cl := cluster.New(w, cluster.Gigabit())
+			res, err := systems.Train(cl, ds, systems.Vero, endToEndConfig(2))
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			for _, s := range res.PerTreeSeconds {
+				sum += s
+			}
+			sec := sum / float64(len(res.PerTreeSeconds))
+			if w == 2 {
+				base = sec
+			}
+			rows = append(rows, Table6Row{Dataset: sub.label, Workers: w, Seconds: sec, Speedup: base / sec})
+		}
+	}
+	return rows, nil
+}
+
+// AblationRow measures one design choice's contribution (DESIGN.md's
+// ablation index): Vero with the feature disabled vs enabled.
+type AblationRow struct {
+	Name        string
+	BaselineSec float64 // per tree, feature enabled
+	AblatedSec  float64 // per tree, feature disabled
+}
+
+// AblationSubtraction measures the histogram subtraction technique
+// (Section 2.1.2) by comparing QD2 (subtraction) against QD1 (no
+// subtraction possible) on identical data — isolating construction time.
+func AblationSubtraction(scale float64) (AblationRow, error) {
+	ds, err := synthetic(scaleN(8000, scale), 500, 2, 0.1, 1004)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	with, err := perTree(ds, systems.LightGBM, quadrantConfig(7), 4, cluster.Gigabit())
+	if err != nil {
+		return AblationRow{}, err
+	}
+	without, err := perTree(ds, systems.XGBoost, quadrantConfig(7), 4, cluster.Gigabit())
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{Name: "histogram-subtraction", BaselineSec: with.CompSec, AblatedSec: without.CompSec}, nil
+}
+
+// AblationCompression measures Vero's key-value compression by charging
+// the transformation's naive vs blockified wire cost.
+func AblationCompression(scale float64) (AblationRow, error) {
+	ds, err := loadScaled("synthesis", scale)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	run := func(v partition.Variant) (float64, error) {
+		cl := cluster.New(8, cluster.Gigabit())
+		_, err := partition.Transform(cl, ds.X, ds.Labels, partition.Options{Q: 20, Charge: v})
+		if err != nil {
+			return 0, err
+		}
+		p := cl.Stats().Phase("transform.repartition")
+		return p.CommSeconds, nil
+	}
+	blockified, err := run(partition.VariantBlockified)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	naive, err := run(partition.VariantNaive)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{Name: "transform-compression", BaselineSec: blockified, AblatedSec: naive}, nil
+}
+
+// AblationLoadBalance compares greedy column grouping against round-robin
+// by the resulting worst-worker key-value load.
+func AblationLoadBalance(scale float64) (AblationRow, error) {
+	ds, err := loadScaled("rcv1", scale)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	const w = 8
+	counts := make([]int64, ds.NumFeatures())
+	for i := 0; i < ds.NumInstances(); i++ {
+		feats, _ := ds.X.Row(i)
+		for _, f := range feats {
+			counts[f]++
+		}
+	}
+	greedy := partition.GroupColumnsBalanced(counts, w)
+	var maxGreedy int64
+	for _, l := range partition.GroupLoads(greedy, counts) {
+		if l > maxGreedy {
+			maxGreedy = l
+		}
+	}
+	rr := make([][]int, w)
+	for f := range counts {
+		rr[f%w] = append(rr[f%w], f)
+	}
+	var maxRR int64
+	for _, l := range partition.GroupLoads(rr, counts) {
+		if l > maxRR {
+			maxRR = l
+		}
+	}
+	// Report loads as "seconds" stand-ins: straggler work is proportional
+	// to the worst worker's pair count.
+	return AblationRow{Name: "column-grouping-load-balance",
+		BaselineSec: float64(maxGreedy), AblatedSec: float64(maxRR)}, nil
+}

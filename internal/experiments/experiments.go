@@ -1,0 +1,111 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 5, 6 and the appendix) on the simulated cluster.
+//
+// Each generator returns structured rows; cmd/benchtab renders them as the
+// paper-style tables and bench_test.go wraps them in testing.B benchmarks.
+// Workload sizes are the paper's shapes scaled to one machine (see
+// internal/datasets); a scale factor stretches or shrinks instance counts
+// for quick runs.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vero/internal/cluster"
+	"vero/internal/core"
+	"vero/internal/datasets"
+	"vero/internal/systems"
+)
+
+// Point is one measured bar of a breakdown figure: per-tree computation
+// and communication time plus peak memory, for one system on one workload.
+type Point struct {
+	Workload string
+	System   string
+	// CompSec and CommSec are per-tree averages (seconds).
+	CompSec float64
+	CommSec float64
+	// CommMB is the per-tree communication volume (MB), the deterministic
+	// quantity behind CommSec.
+	CommMB float64
+	// HistMB and DataMB are peak per-worker memory (MB).
+	HistMB float64
+	DataMB float64
+}
+
+// scaleN applies the scale factor with a floor.
+func scaleN(n int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := int(float64(n) * scale)
+	if v < 200 {
+		v = 200
+	}
+	return v
+}
+
+// perTree trains the system and reports per-tree training costs, excluding
+// preparation (the paper's Figure 10 reports "time breakdown per tree").
+func perTree(ds *datasets.Dataset, sys systems.System, base core.Config, w int, net cluster.NetworkModel) (Point, error) {
+	cl := cluster.New(w, net)
+	res, err := systems.Train(cl, ds, sys, base)
+	if err != nil {
+		return Point{}, err
+	}
+	comp, comm, bytes := sumPhases(cl, "train.")
+	trees := float64(len(res.PerTreeSeconds))
+	return Point{
+		System:  string(sys),
+		CompSec: comp / trees,
+		CommSec: comm / trees,
+		CommMB:  float64(bytes) / trees / (1 << 20),
+		HistMB:  float64(cl.Stats().Mem("histogram").MaxPeak()) / (1 << 20),
+		DataMB:  float64(cl.Stats().Mem("data").MaxPeak()) / (1 << 20),
+	}, nil
+}
+
+// sumPhases sums computation seconds, communication seconds and bytes over
+// phases with the given label prefix.
+func sumPhases(cl *cluster.Cluster, prefix string) (comp, comm float64, bytes int64) {
+	for _, name := range cl.Stats().PhaseNames() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		p := cl.Stats().Phase(name)
+		comp += p.CompSeconds
+		comm += p.CommSeconds
+		bytes += p.TotalBytes()
+	}
+	return comp, comm, bytes
+}
+
+// synthetic builds a Figure 10 workload: the paper's generator with
+// p = phi = 0.2 unless density is overridden.
+func synthetic(n, d, c int, density float64, seed int64) (*datasets.Dataset, error) {
+	return datasets.Synthetic(datasets.SyntheticConfig{
+		N: n, D: d, C: c,
+		InformativeRatio: 0.2,
+		Density:          density,
+		Seed:             seed,
+	})
+}
+
+// quadrantConfig is the Section 5.1 hyper-parameter set scaled for
+// one-machine runs: the paper uses T=100/L=8/q=20; per-tree costs are what
+// the figures report, so two trees per configuration suffice.
+func quadrantConfig(layers int) core.Config {
+	return core.Config{Trees: 2, Layers: layers, Splits: 20, LearningRate: 0.3}
+}
+
+func fmtCount(n int) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%gM", float64(n)/1e6)
+	case n >= 1000:
+		return fmt.Sprintf("%gK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

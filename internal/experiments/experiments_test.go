@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"testing"
+
+	"vero/internal/partition"
+	"vero/internal/systems"
+)
+
+// testScale keeps instance counts small so the suite stays quick; shape
+// assertions are on deterministic quantities (simulated communication,
+// byte counts, memory gauges) wherever possible.
+const testScale = 0.15
+
+func commOf(pts []Point, workload string, sys systems.System) float64 {
+	for _, p := range pts {
+		if p.Workload == workload && p.System == string(sys) {
+			return p.CommSec
+		}
+	}
+	return -1
+}
+
+func TestFig10aShape(t *testing.T) {
+	pts, err := Fig10a(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Vertical partitioning's communication grows with N (placement
+	// bitmaps are proportional to N) while horizontal's stays flat (the
+	// histogram volume depends only on D, q, C). The absolute crossover
+	// the paper shows needs N in the millions; at laptop N the slopes are
+	// the reproducible shape (see EXPERIMENTS.md).
+	first := pts[0].Workload
+	last := pts[len(pts)-1].Workload
+	vFirst, vLast := commMBOf(pts, first, systems.Vero), commMBOf(pts, last, systems.Vero)
+	if vLast < 1.5*vFirst {
+		t.Fatalf("vero comm volume not growing with N: %v -> %v", vFirst, vLast)
+	}
+	hFirst, hLast := commMBOf(pts, first, systems.LightGBM), commMBOf(pts, last, systems.LightGBM)
+	if hLast > 1.5*hFirst {
+		t.Fatalf("lightgbm comm volume grew with N: %v -> %v", hFirst, hLast)
+	}
+}
+
+func commMBOf(pts []Point, workload string, sys systems.System) float64 {
+	for _, p := range pts {
+		if p.Workload == workload && p.System == string(sys) {
+			return p.CommMB
+		}
+	}
+	return -1
+}
+
+func TestFig10bShape(t *testing.T) {
+	pts, err := Fig10b(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal comm grows ~linearly with D; vertical comm stays flat.
+	lgbLow := commOf(pts, "D=500", systems.LightGBM)
+	lgbHigh := commOf(pts, "D=2K", systems.LightGBM)
+	veroLow := commOf(pts, "D=500", systems.Vero)
+	veroHigh := commOf(pts, "D=2K", systems.Vero)
+	if lgbHigh < 2.5*lgbLow {
+		t.Fatalf("lightgbm comm not growing with D: %v -> %v", lgbLow, lgbHigh)
+	}
+	if veroHigh > 1.5*veroLow {
+		t.Fatalf("vero comm grew with D: %v -> %v", veroLow, veroHigh)
+	}
+	if veroHigh >= lgbHigh {
+		t.Fatalf("high-dim: vero comm %v not below lightgbm %v", veroHigh, lgbHigh)
+	}
+}
+
+func TestFig10cShape(t *testing.T) {
+	// Depth shape needs enough instances that deep nodes stay splittable;
+	// run this panel at a larger scale than the others.
+	pts, err := Fig10c(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal comm nearly doubles per extra layer; vertical grows
+	// linearly.
+	l6 := commOf(pts, "L=6", systems.LightGBM)
+	l8 := commOf(pts, "L=8", systems.LightGBM)
+	if l8 < 2*l6 {
+		t.Fatalf("lightgbm comm not exponential in depth: %v -> %v", l6, l8)
+	}
+	v6 := commOf(pts, "L=6", systems.Vero)
+	v8 := commOf(pts, "L=8", systems.Vero)
+	if v8 > 2*v6 {
+		t.Fatalf("vero comm grew superlinearly with depth: %v -> %v", v6, v8)
+	}
+}
+
+func TestFig10dShape(t *testing.T) {
+	pts, err := Fig10d(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := commOf(pts, "C=3", systems.LightGBM)
+	c10 := commOf(pts, "C=10", systems.LightGBM)
+	if c10 < 2*c3 {
+		t.Fatalf("lightgbm comm not proportional to classes: %v -> %v", c3, c10)
+	}
+	v3 := commOf(pts, "C=3", systems.Vero)
+	v10 := commOf(pts, "C=10", systems.Vero)
+	if v10 > 1.5*v3 {
+		t.Fatalf("vero comm grew with classes: %v -> %v", v3, v10)
+	}
+}
+
+func TestFig10efMemoryShape(t *testing.T) {
+	pts, err := Fig10f(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal histogram memory dominates vertical's (W=4) and grows
+	// with C; data memory is comparable.
+	for _, c := range []string{"C=3", "C=10"} {
+		var lgb, vero Point
+		for _, p := range pts {
+			if p.Workload == c && p.System == string(systems.LightGBM) {
+				lgb = p
+			}
+			if p.Workload == c && p.System == string(systems.Vero) {
+				vero = p
+			}
+		}
+		if lgb.HistMB < 3*vero.HistMB {
+			t.Fatalf("%s: horizontal hist mem %vMB not >= 3x vertical %vMB", c, lgb.HistMB, vero.HistMB)
+		}
+	}
+}
+
+func TestFig10ghRun(t *testing.T) {
+	// Storage-pattern panels: both systems must run; QD3 and QD4 share
+	// the vertical communication profile.
+	g, err := Fig10g(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 8 {
+		t.Fatalf("Fig10g has %d points", len(g))
+	}
+	h, err := Fig10h(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest N, row-store computation beats column-store (binary
+	// searches + branch misses), Section 5.2.2.
+	last := h[len(h)-1].Workload
+	var qd3, qd4 float64
+	for _, p := range h {
+		if p.Workload == last {
+			if p.System == string(systems.QD3Hybrid) {
+				qd3 = p.CompSec
+			} else {
+				qd4 = p.CompSec
+			}
+		}
+	}
+	if qd4 > qd3 {
+		t.Logf("note: QD4 comp (%v) above QD3 (%v) at this scale", qd4, qd3)
+	}
+}
+
+func TestTable3ShapeHighDim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 3 sweep in short mode")
+	}
+	rows, err := Table3(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Dataset] = r
+	}
+	// DimBoost must be absent from the multi-class rows (Table 3's "-").
+	if _, ok := byName["rcv1-multi"].Errs[systems.DimBoost]; !ok {
+		t.Fatal("dimboost ran a multi-class dataset")
+	}
+	// High-dimensional sparse: XGBoost is the slowest of the four
+	// (Table 3: 17-19x Vero).
+	for _, name := range []string{"rcv1", "synthesis"} {
+		r := byName[name]
+		if r.Relative[systems.XGBoost] < r.Relative[systems.LightGBM] {
+			t.Errorf("%s: xgboost (%.2fx) faster than lightgbm (%.2fx)",
+				name, r.Relative[systems.XGBoost], r.Relative[systems.LightGBM])
+		}
+		if r.Relative[systems.XGBoost] <= 1 {
+			t.Errorf("%s: xgboost (%.2fx) not slower than vero", name, r.Relative[systems.XGBoost])
+		}
+	}
+	for _, r := range rows {
+		if v, ok := r.Seconds[systems.Vero]; !ok || v <= 0 {
+			t.Errorf("%s: missing vero time", r.Dataset)
+		}
+	}
+}
+
+func TestFig11CurvesImprove(t *testing.T) {
+	curves, err := Fig11("susy", 6, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	for _, c := range curves {
+		if c.Err != "" {
+			t.Fatalf("%s failed: %s", c.System, c.Err)
+		}
+		if len(c.Points) != 6 {
+			t.Fatalf("%s has %d points", c.System, len(c.Points))
+		}
+		first := c.Points[0]
+		last := c.Points[len(c.Points)-1]
+		if last.Metric < first.Metric-0.02 {
+			t.Errorf("%s: metric degraded %v -> %v", c.System, first.Metric, last.Metric)
+		}
+		// The curve must actually converge: well above coin-flip AUC.
+		if last.Metric < 0.6 {
+			t.Errorf("%s: final AUC %v, curve never improved", c.System, last.Metric)
+		}
+		if last.Seconds <= first.Seconds {
+			t.Errorf("%s: time not increasing", c.System)
+		}
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("industrial sweep in short mode")
+	}
+	rows, err := Table4(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds[systems.Vero] <= 0 {
+			t.Errorf("%s: no vero time", r.Dataset)
+		}
+	}
+	// Age (multi-class, high-dim): Vero beats XGBoost clearly (paper:
+	// 8.3x).
+	for _, r := range rows {
+		if r.Dataset == "age" && r.Seconds[systems.XGBoost] < r.Seconds[systems.Vero] {
+			t.Errorf("age: xgboost (%v) faster than vero (%v)",
+				r.Seconds[systems.XGBoost], r.Seconds[systems.Vero])
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		nv := r.RepartitionSec[partition.VariantNaive]
+		cp := r.RepartitionSec[partition.VariantCompressed]
+		vo := r.RepartitionSec[partition.VariantBlockified]
+		if !(nv > cp && cp > vo) {
+			t.Errorf("%s: repartition times not decreasing: naive=%v compress=%v vero=%v",
+				r.Dataset, nv, cp, vo)
+		}
+		if r.RepartitionMB[partition.VariantNaive] <= r.RepartitionMB[partition.VariantBlockified] {
+			t.Errorf("%s: no volume reduction", r.Dataset)
+		}
+	}
+}
+
+func TestTable6Speedup(t *testing.T) {
+	rows, err := Table6(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Workers == 2 && r.Speedup != 1 {
+			t.Errorf("%s: base speedup %v", r.Dataset, r.Speedup)
+		}
+	}
+}
+
+func TestTable7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("yggdrasil sweep in short mode")
+	}
+	rows, err := Table7(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, sys := range []systems.System{systems.Yggdrasil, systems.QD3Hybrid, systems.Vero} {
+			if r.Seconds[sys] <= 0 {
+				t.Errorf("%s: missing %s", r.Dataset, sys)
+			}
+		}
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lightgbm sweep in short mode")
+	}
+	rows, err := Table8(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Feature-parallel holds the full dataset per worker.
+		if r.DataMB[systems.LightGBMFP] < 2*r.DataMB[systems.LightGBM] {
+			t.Errorf("%s: FP data memory %vMB not above DP %vMB",
+				r.Dataset, r.DataMB[systems.LightGBMFP], r.DataMB[systems.LightGBM])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sub, err := AblationSubtraction(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.BaselineSec <= 0 || sub.AblatedSec <= 0 {
+		t.Fatalf("subtraction ablation: %+v", sub)
+	}
+	comp, err := AblationCompression(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.AblatedSec <= comp.BaselineSec {
+		t.Fatalf("compression ablation: naive %v not slower than blockified %v",
+			comp.AblatedSec, comp.BaselineSec)
+	}
+	lb, err := AblationLoadBalance(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.BaselineSec > lb.AblatedSec {
+		t.Fatalf("greedy grouping (%v) worse than round-robin (%v)", lb.BaselineSec, lb.AblatedSec)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"vero/internal/cluster"
+	"vero/internal/systems"
+)
+
+// Figure 10: breakdown comparison of the quadrants over synthetic
+// datasets. QD2 is the horizontal+row baseline (LightGBM's policy), QD4 is
+// Vero, QD3 the vertical+column baseline — all in the same code base, as
+// in Section 5.2. Paper workloads are 5M-50M x 25K-100K on 8 workers; the
+// scaled shapes keep the same N:D regimes.
+
+// fig10Run executes one panel: the given systems across the given
+// workloads.
+func fig10Run(workloads []struct {
+	label   string
+	n, d, c int
+	density float64
+}, layers int, ss []systems.System, scale float64) ([]Point, error) {
+	var out []Point
+	for _, wl := range workloads {
+		ds, err := synthetic(scaleN(wl.n, scale), wl.d, wl.c, wl.density, 1002)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range ss {
+			p, err := perTree(ds, sys, quadrantConfig(layers), 4, cluster.Gigabit())
+			if err != nil {
+				return nil, err
+			}
+			p.Workload = wl.label
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+type fig10Workload = struct {
+	label   string
+	n, d, c int
+	density float64
+}
+
+// Fig10a: impact of instance number on partitioning (paper: D=100, C=2,
+// L=8, N=5M..20M). Low dimensionality with growing N favors horizontal.
+func Fig10a(scale float64) ([]Point, error) {
+	var wls []fig10Workload
+	for _, n := range []int{10000, 20000, 30000, 40000} {
+		wls = append(wls, fig10Workload{label: "N=" + fmtCount(scaleN(n, scale)), n: n, d: 100, c: 2, density: 0.2})
+	}
+	return fig10Run(wls, 6, []systems.System{systems.LightGBM, systems.Vero}, scale)
+}
+
+// Fig10b: impact of dimensionality (paper: N=50M, C=2, L=8, D=25K..100K).
+// Histogram aggregation volume grows linearly in D for horizontal.
+func Fig10b(scale float64) ([]Point, error) {
+	var wls []fig10Workload
+	for _, d := range []int{500, 1000, 1500, 2000} {
+		wls = append(wls, fig10Workload{label: "D=" + fmtCount(d), n: 8000, d: d, c: 2, density: 0.05})
+	}
+	return fig10Run(wls, 6, []systems.System{systems.LightGBM, systems.Vero}, scale)
+}
+
+// Fig10c: impact of tree depth (paper: N=50M, D=100K, L=8..10).
+// Horizontal aggregation grows exponentially with depth, vertical
+// placement broadcasts linearly.
+func Fig10c(scale float64) ([]Point, error) {
+	var out []Point
+	for _, layers := range []int{6, 7, 8} {
+		wls := []fig10Workload{{label: "L=" + fmtCount(layers), n: 8000, d: 1000, c: 2, density: 0.05}}
+		pts, err := fig10Run(wls, layers, []systems.System{systems.LightGBM, systems.Vero}, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// Fig10d: impact of the number of classes (paper: N=50M, D=25K, C=3..10).
+// Horizontal aggregation volume is proportional to C.
+func Fig10d(scale float64) ([]Point, error) {
+	var wls []fig10Workload
+	for _, c := range []int{3, 5, 10} {
+		wls = append(wls, fig10Workload{label: "C=" + fmtCount(c), n: 8000, d: 500, c: c, density: 0.05})
+	}
+	return fig10Run(wls, 6, []systems.System{systems.LightGBM, systems.Vero}, scale)
+}
+
+// Fig10e: memory breakdown vs dimensionality — same workloads as Fig10b;
+// consumers read the HistMB/DataMB fields.
+func Fig10e(scale float64) ([]Point, error) { return Fig10b(scale) }
+
+// Fig10f: memory breakdown vs classes — same workloads as Fig10d.
+func Fig10f(scale float64) ([]Point, error) { return Fig10d(scale) }
+
+// Fig10g: storage patterns on a tiny-N, high-D dataset (paper: N=10K,
+// D=25K..100K) — the one regime where column-store (QD3) wins.
+func Fig10g(scale float64) ([]Point, error) {
+	var wls []fig10Workload
+	for _, d := range []int{1000, 2000, 3000, 4000} {
+		wls = append(wls, fig10Workload{label: "D=" + fmtCount(d), n: 1000, d: d, c: 2, density: 0.05})
+	}
+	return fig10Run(wls, 6, []systems.System{systems.QD3Hybrid, systems.Vero}, scale)
+}
+
+// Fig10h: storage patterns vs instance number (paper: D=100K, N=10M..40M).
+// Row-store (QD4) wins as N grows; column-store pays binary searches.
+func Fig10h(scale float64) ([]Point, error) {
+	var wls []fig10Workload
+	for _, n := range []int{5000, 10000, 15000, 20000} {
+		wls = append(wls, fig10Workload{label: "N=" + fmtCount(scaleN(n, scale)), n: n, d: 2000, c: 2, density: 0.02})
+	}
+	return fig10Run(wls, 6, []systems.System{systems.QD3Hybrid, systems.Vero}, scale)
+}

@@ -1,0 +1,136 @@
+// Package histogram implements gradient histograms and histogram-based
+// split finding (Section 2.1.2 of the paper).
+//
+// A gradient histogram summarizes, for one feature on one tree node, the
+// sums of first- and second-order gradients of the instances whose feature
+// value falls into each candidate-split bin. For C-class problems each bin
+// holds a C-dimensional gradient vector, which makes the histogram size
+// Sizehist = 2 * D * q * C * 8 bytes per node (Section 3.1.1) — the
+// quantity that drives the paper's memory and communication analysis.
+//
+// The package also implements the histogram subtraction technique: the
+// instances of two sibling nodes partition those of the parent, so
+// hist(parent) - hist(builtChild) = hist(siblingChild), letting the trainer
+// skip at least half the instance scans per layer.
+package histogram
+
+import "fmt"
+
+// Layout describes the shape of a node's histograms over a worker's
+// feature slots. MaxBins is the uniform per-slot bin budget (features with
+// fewer candidate splits simply leave high bins at zero).
+type Layout struct {
+	NumFeat  int // number of feature slots on this worker
+	MaxBins  int // bins per feature (q in the paper)
+	NumClass int // gradient dimension C
+}
+
+// FloatsPerSide returns the number of float64 entries in one gradient
+// array (first-order or second-order).
+func (l Layout) FloatsPerSide() int { return l.NumFeat * l.MaxBins * l.NumClass }
+
+// SizeBytes returns the in-memory histogram size for one node under this
+// layout: 2 sides x NumFeat x MaxBins x NumClass x 8 bytes, the paper's
+// Sizehist with D replaced by the worker-local feature count.
+func (l Layout) SizeBytes() int64 { return int64(2*l.FloatsPerSide()) * 8 }
+
+// Hist holds the first- and second-order gradient histograms of one tree
+// node for all feature slots of a worker.
+type Hist struct {
+	Layout
+	Grad []float64 // [feat*MaxBins*C + bin*C + class]
+	Hess []float64
+}
+
+// New allocates a zeroed histogram with the given layout.
+func New(l Layout) *Hist {
+	n := l.FloatsPerSide()
+	return &Hist{Layout: l, Grad: make([]float64, n), Hess: make([]float64, n)}
+}
+
+// offset returns the flat index of (feat, bin, class 0).
+func (h *Hist) offset(feat, bin int) int {
+	return (feat*h.MaxBins + bin) * h.NumClass
+}
+
+// Add accumulates a scalar gradient pair into (feat, bin, class).
+func (h *Hist) Add(feat, bin, class int, g, hs float64) {
+	i := h.offset(feat, bin) + class
+	h.Grad[i] += g
+	h.Hess[i] += hs
+}
+
+// AddVec accumulates a C-dimensional gradient pair into (feat, bin).
+// len(g) and len(hs) must equal NumClass.
+func (h *Hist) AddVec(feat, bin int, g, hs []float64) {
+	i := h.offset(feat, bin)
+	for k := 0; k < h.NumClass; k++ {
+		h.Grad[i+k] += g[k]
+		h.Hess[i+k] += hs[k]
+	}
+}
+
+// At returns the accumulated (grad, hess) at (feat, bin, class).
+func (h *Hist) At(feat, bin, class int) (float64, float64) {
+	i := h.offset(feat, bin) + class
+	return h.Grad[i], h.Hess[i]
+}
+
+// Merge element-wise adds other into h. Layouts must match.
+func (h *Hist) Merge(other *Hist) {
+	h.checkLayout(other)
+	for i := range h.Grad {
+		h.Grad[i] += other.Grad[i]
+		h.Hess[i] += other.Hess[i]
+	}
+}
+
+// Sub element-wise subtracts other from h: the histogram subtraction
+// technique (h := parent, other := built child, result := sibling).
+func (h *Hist) Sub(other *Hist) {
+	h.checkLayout(other)
+	for i := range h.Grad {
+		h.Grad[i] -= other.Grad[i]
+		h.Hess[i] -= other.Hess[i]
+	}
+}
+
+// Reset zeroes the histogram in place.
+func (h *Hist) Reset() {
+	for i := range h.Grad {
+		h.Grad[i] = 0
+		h.Hess[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	c := New(h.Layout)
+	copy(c.Grad, h.Grad)
+	copy(c.Hess, h.Hess)
+	return c
+}
+
+func (h *Hist) checkLayout(other *Hist) {
+	if h.Layout != other.Layout {
+		panic(fmt.Sprintf("histogram: layout mismatch %+v vs %+v", h.Layout, other.Layout))
+	}
+}
+
+// FeatTotals sums the per-class gradients of one feature slot across all
+// bins, writing into g and hs (length NumClass). Together with the node
+// totals this yields the gradient mass of instances with a missing value
+// on the feature.
+func (h *Hist) FeatTotals(feat int, g, hs []float64) {
+	for k := 0; k < h.NumClass; k++ {
+		g[k] = 0
+		hs[k] = 0
+	}
+	base := h.offset(feat, 0)
+	for b := 0; b < h.MaxBins; b++ {
+		for k := 0; k < h.NumClass; k++ {
+			g[k] += h.Grad[base+b*h.NumClass+k]
+			hs[k] += h.Hess[base+b*h.NumClass+k]
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"square", "logistic"} {
+		obj, err := ByName(name, 0)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if obj.Name() != name {
+			t.Fatalf("Name() = %q, want %q", obj.Name(), name)
+		}
+		if obj.NumClass() != 1 {
+			t.Fatalf("%s NumClass = %d, want 1", name, obj.NumClass())
+		}
+	}
+	obj, err := ByName("softmax", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.NumClass() != 5 {
+		t.Fatalf("softmax NumClass = %d, want 5", obj.NumClass())
+	}
+	if _, err := ByName("softmax", 1); err == nil {
+		t.Fatal("softmax with 1 class accepted")
+	}
+	if _, err := ByName("hinge", 0); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestSquareGradHess(t *testing.T) {
+	var g, h [1]float64
+	(Square{}).GradHess([]float64{3}, 1, g[:], h[:])
+	if g[0] != 2 || h[0] != 1 {
+		t.Fatalf("g,h = %v,%v want 2,1", g[0], h[0])
+	}
+}
+
+func TestSquareInitScore(t *testing.T) {
+	s := (Square{}).InitScore([]float32{1, 2, 3, 4})
+	if s[0] != 2.5 {
+		t.Fatalf("InitScore = %v, want 2.5", s[0])
+	}
+	if (Square{}).InitScore(nil)[0] != 0 {
+		t.Fatal("InitScore(nil) != 0")
+	}
+}
+
+func TestLogisticGradHess(t *testing.T) {
+	var g, h [1]float64
+	(Logistic{}).GradHess([]float64{0}, 1, g[:], h[:])
+	if math.Abs(g[0]+0.5) > 1e-12 {
+		t.Fatalf("g = %v, want -0.5", g[0])
+	}
+	if math.Abs(h[0]-0.25) > 1e-12 {
+		t.Fatalf("h = %v, want 0.25", h[0])
+	}
+	// Extreme margin: hessian clamped away from zero.
+	(Logistic{}).GradHess([]float64{100}, 0, g[:], h[:])
+	if h[0] <= 0 {
+		t.Fatalf("h = %v, want > 0", h[0])
+	}
+}
+
+// TestLogisticGradMatchesFiniteDifference checks g = dl/dpred numerically.
+func TestLogisticGradMatchesFiniteDifference(t *testing.T) {
+	l := func(pred float64, y float64) float64 {
+		p := Sigmoid(pred)
+		return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+	}
+	var g, h [1]float64
+	for _, pred := range []float64{-2, -0.5, 0, 0.7, 3} {
+		for _, y := range []float32{0, 1} {
+			(Logistic{}).GradHess([]float64{pred}, y, g[:], h[:])
+			const eps = 1e-6
+			want := (l(pred+eps, float64(y)) - l(pred-eps, float64(y))) / (2 * eps)
+			if math.Abs(g[0]-want) > 1e-5 {
+				t.Fatalf("pred=%v y=%v: g=%v, finite diff %v", pred, y, g[0], want)
+			}
+		}
+	}
+}
+
+func TestSoftmaxGradients(t *testing.T) {
+	s := Softmax{C: 3}
+	g := make([]float64, 3)
+	h := make([]float64, 3)
+	s.GradHess([]float64{0, 0, 0}, 1, g, h)
+	third := 1.0 / 3.0
+	if math.Abs(g[0]-third) > 1e-12 || math.Abs(g[1]-(third-1)) > 1e-12 || math.Abs(g[2]-third) > 1e-12 {
+		t.Fatalf("g = %v", g)
+	}
+	for k, hv := range h {
+		want := 2 * third * (1 - third)
+		if math.Abs(hv-want) > 1e-12 {
+			t.Fatalf("h[%d] = %v, want %v", k, hv, want)
+		}
+	}
+}
+
+func TestSoftmaxGradSumZero(t *testing.T) {
+	// Property: softmax gradients over classes sum to zero.
+	s := Softmax{C: 4}
+	f := func(a, b, c, d float64, yRaw uint8) bool {
+		pred := []float64{clamp(a), clamp(b), clamp(c), clamp(d)}
+		g := make([]float64, 4)
+		h := make([]float64, 4)
+		s.GradHess(pred, float32(int(yRaw)%4), g, h)
+		var sum float64
+		for _, v := range g {
+			sum += v
+		}
+		for _, v := range h {
+			if v <= 0 {
+				return false
+			}
+		}
+		return math.Abs(sum) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 30)
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := Sigmoid(0); s != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v", s)
+	}
+	if s := Sigmoid(1000); s != 1 {
+		t.Fatalf("Sigmoid(1000) = %v", s)
+	}
+	if s := Sigmoid(-1000); s != 0 {
+		t.Fatalf("Sigmoid(-1000) = %v", s)
+	}
+	// Symmetry: sigmoid(-x) = 1 - sigmoid(x).
+	for _, x := range []float64{0.1, 1, 5, 20} {
+		if d := Sigmoid(-x) + Sigmoid(x) - 1; math.Abs(d) > 1e-12 {
+			t.Fatalf("symmetry broken at %v: %v", x, d)
+		}
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got := RMSE([]float64{1, 2, 3}, []float32{1, 2, 5})
+	want := math.Sqrt(4.0 / 3.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("RMSE(nil) != 0")
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	score := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float32{1, 1, 0, 0}
+	if got := AUC(score, labels); got != 1 {
+		t.Fatalf("perfect AUC = %v, want 1", got)
+	}
+	// Reversed scores: AUC 0.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, labels); got != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 via average ranks.
+	score := []float64{1, 1, 1, 1}
+	labels := []float32{1, 0, 1, 0}
+	if got := AUC(score, labels); got != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if !math.IsNaN(AUC([]float64{1, 2}, []float32{1, 1})) {
+		t.Fatal("AUC with one class should be NaN")
+	}
+}
+
+func TestAUCMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 200
+	score := make([]float64, n)
+	labels := make([]float32, n)
+	for i := range score {
+		score[i] = float64(rng.Intn(20)) // force ties
+		labels[i] = float32(rng.Intn(2))
+	}
+	var wins, total float64
+	for i := 0; i < n; i++ {
+		if labels[i] < 0.5 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if labels[j] >= 0.5 {
+				continue
+			}
+			total++
+			switch {
+			case score[i] > score[j]:
+				wins++
+			case score[i] == score[j]:
+				wins += 0.5
+			}
+		}
+	}
+	want := wins / total
+	if got := AUC(score, labels); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AUC = %v, brute force %v", got, want)
+	}
+}
+
+func TestBinaryAccuracy(t *testing.T) {
+	got := BinaryAccuracy([]float64{1, -1, 2, -2}, []float32{1, 0, 0, 1})
+	if got != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5", got)
+	}
+}
+
+func TestMultiAccuracy(t *testing.T) {
+	score := []float64{
+		1, 2, 0, // argmax 1
+		3, 1, 0, // argmax 0
+	}
+	got := MultiAccuracy(score, []float32{1, 2}, 3)
+	if got != 0.5 {
+		t.Fatalf("multi accuracy = %v, want 0.5", got)
+	}
+}
+
+func TestLogLossBounds(t *testing.T) {
+	// Confident correct predictions drive loss to ~0; wrong ones blow up.
+	low := LogLoss([]float64{10, -10}, []float32{1, 0})
+	high := LogLoss([]float64{-10, 10}, []float32{1, 0})
+	if low > 0.01 {
+		t.Fatalf("confident-correct logloss = %v", low)
+	}
+	if high < 5 {
+		t.Fatalf("confident-wrong logloss = %v", high)
+	}
+}
+
+func TestMultiLogLossUniform(t *testing.T) {
+	// Uniform scores: loss = log(C).
+	got := MultiLogLoss(make([]float64, 3*4), []float32{0, 1, 2}, 4)
+	if math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform multi logloss = %v, want log 4", got)
+	}
+}

@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func makeBlock(rowStart int, rows [][]uint32, bins [][]uint16) *Block {
+	b := &Block{RowStart: rowStart, RowPtr: []int64{0}}
+	for i := range rows {
+		b.Feat = append(b.Feat, rows[i]...)
+		b.Bin = append(b.Bin, bins[i]...)
+		b.RowPtr = append(b.RowPtr, int64(len(b.Feat)))
+	}
+	return b
+}
+
+func TestBlockRow(t *testing.T) {
+	b := makeBlock(10,
+		[][]uint32{{0, 2}, {}, {1}},
+		[][]uint16{{3, 4}, {}, {5}})
+	if b.NumRows() != 3 || b.NNZ() != 3 {
+		t.Fatalf("rows=%d nnz=%d", b.NumRows(), b.NNZ())
+	}
+	feat, bin := b.Row(10)
+	if len(feat) != 2 || feat[1] != 2 || bin[0] != 3 {
+		t.Fatalf("Row(10) = %v %v", feat, bin)
+	}
+	if feat, _ := b.Row(11); len(feat) != 0 {
+		t.Fatal("empty row not empty")
+	}
+	feat, bin = b.Row(12)
+	if len(feat) != 1 || feat[0] != 1 || bin[0] != 5 {
+		t.Fatalf("Row(12) = %v %v", feat, bin)
+	}
+}
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, widths := range [][2]int64{{1, 1}, {2, 1}, {4, 2}} {
+		fw, bw := widths[0], widths[1]
+		b := &Block{RowStart: 7, RowPtr: []int64{0}}
+		for i := 0; i < 20; i++ {
+			n := rng.Intn(5)
+			for k := 0; k < n; k++ {
+				maxFeat := int64(1) << uint(8*fw)
+				if maxFeat > 1<<20 {
+					maxFeat = 1 << 20
+				}
+				b.Feat = append(b.Feat, uint32(rng.Int63n(maxFeat)))
+				maxBin := int64(1) << uint(8*bw)
+				b.Bin = append(b.Bin, uint16(rng.Int63n(maxBin)))
+			}
+			b.RowPtr = append(b.RowPtr, int64(len(b.Feat)))
+		}
+		data, err := b.Encode(fw, bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(data)) != b.WireSizeBytes(fw, bw) {
+			t.Fatalf("fw=%d bw=%d: encoded %d bytes, WireSizeBytes says %d",
+				fw, bw, len(data), b.WireSizeBytes(fw, bw))
+		}
+		got, err := DecodeBlock(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RowStart != b.RowStart || got.NumRows() != b.NumRows() || got.NNZ() != b.NNZ() {
+			t.Fatalf("shape changed after round trip")
+		}
+		for i := range b.Feat {
+			if got.Feat[i] != b.Feat[i] || got.Bin[i] != b.Bin[i] {
+				t.Fatalf("pair %d changed: (%d,%d) vs (%d,%d)",
+					i, b.Feat[i], b.Bin[i], got.Feat[i], got.Bin[i])
+			}
+		}
+	}
+}
+
+func TestBlockEncodeBadWidths(t *testing.T) {
+	b := makeBlock(0, [][]uint32{{0}}, [][]uint16{{0}})
+	if _, err := b.Encode(3, 1); err == nil {
+		t.Fatal("accepted feature width 3")
+	}
+	if _, err := b.Encode(1, 4); err == nil {
+		t.Fatal("accepted bin width 4")
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	if _, err := DecodeBlock([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted short payload")
+	}
+	b := makeBlock(0, [][]uint32{{0, 1}}, [][]uint16{{0, 1}})
+	data, _ := b.Encode(1, 1)
+	if _, err := DecodeBlock(data[:len(data)-1]); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+}
+
+func TestBlockSetTwoPhaseIndex(t *testing.T) {
+	b1 := makeBlock(0, [][]uint32{{1}, {2}}, [][]uint16{{1}, {2}})
+	b2 := makeBlock(2, [][]uint32{{3}, {}}, [][]uint16{{3}, {}})
+	b3 := makeBlock(4, [][]uint32{{5}}, [][]uint16{{5}})
+	// Deliberately out of order: NewBlockSet must sort by RowStart.
+	bs, err := NewBlockSet([]*Block{b3, b1, b2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.NumRows() != 5 || bs.NumBlocks() != 3 || bs.NNZ() != 4 {
+		t.Fatalf("rows=%d blocks=%d nnz=%d", bs.NumRows(), bs.NumBlocks(), bs.NNZ())
+	}
+	for r, want := range map[int]uint32{0: 1, 1: 2, 2: 3, 4: 5} {
+		feat, _ := bs.Row(r)
+		if len(feat) != 1 || feat[0] != want {
+			t.Fatalf("Row(%d) = %v, want [%d]", r, feat, want)
+		}
+	}
+	if feat, _ := bs.Row(3); len(feat) != 0 {
+		t.Fatal("empty row not empty")
+	}
+}
+
+func TestBlockSetRejectsGaps(t *testing.T) {
+	b1 := makeBlock(0, [][]uint32{{1}}, [][]uint16{{1}})
+	b3 := makeBlock(5, [][]uint32{{2}}, [][]uint16{{2}})
+	if _, err := NewBlockSet([]*Block{b1, b3}); err == nil {
+		t.Fatal("accepted non-contiguous blocks")
+	}
+}
+
+func TestBlockSetMergePreservesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var blocks []*Block
+	rowStart := 0
+	type rowData struct {
+		feat []uint32
+		bin  []uint16
+	}
+	var all []rowData
+	for b := 0; b < 8; b++ {
+		nRows := 1 + rng.Intn(10)
+		var rows [][]uint32
+		var bins [][]uint16
+		for r := 0; r < nRows; r++ {
+			n := rng.Intn(4)
+			feat := make([]uint32, n)
+			bin := make([]uint16, n)
+			for k := range feat {
+				feat[k] = uint32(rng.Intn(100))
+				bin[k] = uint16(rng.Intn(20))
+			}
+			rows = append(rows, feat)
+			bins = append(bins, bin)
+			all = append(all, rowData{feat, bin})
+		}
+		blocks = append(blocks, makeBlock(rowStart, rows, bins))
+		rowStart += nRows
+	}
+	bs, err := NewBlockSet(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs.Merge(3)
+	if bs.NumBlocks() > 3 {
+		t.Fatalf("merge left %d blocks", bs.NumBlocks())
+	}
+	if bs.NumRows() != len(all) {
+		t.Fatalf("merge changed row count: %d vs %d", bs.NumRows(), len(all))
+	}
+	for r, want := range all {
+		feat, bin := bs.Row(r)
+		if len(feat) != len(want.feat) {
+			t.Fatalf("row %d nnz %d, want %d", r, len(feat), len(want.feat))
+		}
+		for k := range feat {
+			if feat[k] != want.feat[k] || bin[k] != want.bin[k] {
+				t.Fatalf("row %d entry %d changed", r, k)
+			}
+		}
+	}
+}

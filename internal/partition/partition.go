@@ -1,0 +1,108 @@
+// Package partition implements the data-partitioning substrates of the
+// paper: horizontal row ranges, greedy load-balanced column grouping
+// (Section 4.2.3), and the five-step horizontal-to-vertical transformation
+// of Section 4.2.1 with compressed key-value encoding, blockified column
+// groups, and two-phase row indexing (Figure 9).
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HorizontalRanges splits n rows into w near-equal contiguous ranges
+// [lo, hi), the de facto horizontal partitioning of distributed ML.
+func HorizontalRanges(n, w int) [][2]int {
+	if w <= 0 {
+		panic(fmt.Sprintf("partition: worker count %d", w))
+	}
+	out := make([][2]int, w)
+	base := n / w
+	rem := n % w
+	lo := 0
+	for i := 0; i < w; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// GroupColumnsBalanced assigns features to w groups so that the number of
+// key-value pairs per group is as even as possible, using the greedy
+// longest-processing-time heuristic the paper adopts for its NP-hard
+// balancing problem (Section 4.2.3, [19]): features are sorted by
+// occurrence count descending and each is placed into the currently
+// lightest group. Feature ids within each group come out sorted.
+func GroupColumnsBalanced(featCount []int64, w int) [][]int {
+	if w <= 0 {
+		panic(fmt.Sprintf("partition: worker count %d", w))
+	}
+	type fc struct {
+		feat  int
+		count int64
+	}
+	fcs := make([]fc, len(featCount))
+	for f, c := range featCount {
+		fcs[f] = fc{feat: f, count: c}
+	}
+	sort.Slice(fcs, func(i, j int) bool {
+		if fcs[i].count != fcs[j].count {
+			return fcs[i].count > fcs[j].count
+		}
+		return fcs[i].feat < fcs[j].feat // deterministic tie-break
+	})
+	groups := make([][]int, w)
+	loads := make([]int64, w)
+	for _, x := range fcs {
+		lightest := 0
+		for g := 1; g < w; g++ {
+			if loads[g] < loads[lightest] {
+				lightest = g
+			}
+		}
+		groups[lightest] = append(groups[lightest], x.feat)
+		loads[lightest] += x.count
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+// GroupLoads returns the total count per group for a grouping produced by
+// GroupColumnsBalanced.
+func GroupLoads(groups [][]int, featCount []int64) []int64 {
+	loads := make([]int64, len(groups))
+	for g, feats := range groups {
+		for _, f := range feats {
+			loads[g] += featCount[f]
+		}
+	}
+	return loads
+}
+
+// FeatWidthBytes returns the encoded width of a within-group feature id:
+// ceil(log2(p)) bits rounded up to 1, 2 or 4 bytes (Section 4.2.1 step 3).
+func FeatWidthBytes(groupSize int) int64 {
+	switch {
+	case groupSize <= 1<<8:
+		return 1
+	case groupSize <= 1<<16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// BinWidthBytes returns the encoded width of a histogram-bin index:
+// q is typically a small integer, so one byte usually suffices.
+func BinWidthBytes(q int) int64 {
+	if q <= 1<<8 {
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHorizontalRanges(t *testing.T) {
+	r := HorizontalRanges(10, 3)
+	if len(r) != 3 {
+		t.Fatalf("got %d ranges", len(r))
+	}
+	if r[0] != [2]int{0, 4} || r[1] != [2]int{4, 7} || r[2] != [2]int{7, 10} {
+		t.Fatalf("ranges = %v", r)
+	}
+}
+
+func TestHorizontalRangesCoverAndDisjoint(t *testing.T) {
+	f := func(nRaw, wRaw uint16) bool {
+		n := int(nRaw % 1000)
+		w := int(wRaw%16) + 1
+		r := HorizontalRanges(n, w)
+		next := 0
+		for _, x := range r {
+			if x[0] != next || x[1] < x[0] {
+				return false
+			}
+			next = x[1]
+		}
+		// Sizes differ by at most 1.
+		min, max := n, 0
+		for _, x := range r {
+			s := x[1] - x[0]
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		return next == n && max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupColumnsBalanced(t *testing.T) {
+	counts := []int64{100, 1, 1, 1, 97, 1, 1, 1}
+	groups := GroupColumnsBalanced(counts, 2)
+	loads := GroupLoads(groups, counts)
+	// Greedy LPT puts the two heavy features on different workers.
+	if loads[0] < 90 && loads[1] < 90 {
+		t.Fatalf("heavy features not separated: loads %v", loads)
+	}
+	diff := loads[0] - loads[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 10 {
+		t.Fatalf("imbalance %d too high: %v", diff, loads)
+	}
+	// Every feature appears exactly once.
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, f := range g {
+			if seen[f] {
+				t.Fatalf("feature %d in two groups", f)
+			}
+			seen[f] = true
+		}
+	}
+	if len(seen) != len(counts) {
+		t.Fatalf("%d features grouped, want %d", len(seen), len(counts))
+	}
+}
+
+func TestGroupColumnsBalancedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int64, 500)
+	var total int64
+	for i := range counts {
+		counts[i] = int64(rng.Intn(1000))
+		total += counts[i]
+	}
+	const w = 8
+	groups := GroupColumnsBalanced(counts, w)
+	loads := GroupLoads(groups, counts)
+	avg := total / w
+	for g, l := range loads {
+		if l > avg*13/10 {
+			t.Fatalf("group %d load %d exceeds 1.3x average %d", g, l, avg)
+		}
+	}
+}
+
+func TestGroupColumnsDeterministic(t *testing.T) {
+	counts := []int64{5, 5, 5, 5}
+	a := GroupColumnsBalanced(counts, 2)
+	b := GroupColumnsBalanced(counts, 2)
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			t.Fatal("nondeterministic grouping")
+		}
+		for i := range a[g] {
+			if a[g][i] != b[g][i] {
+				t.Fatal("nondeterministic grouping")
+			}
+		}
+	}
+}
+
+func TestWidths(t *testing.T) {
+	if FeatWidthBytes(200) != 1 || FeatWidthBytes(256) != 1 || FeatWidthBytes(257) != 2 ||
+		FeatWidthBytes(70000) != 4 {
+		t.Fatal("FeatWidthBytes wrong")
+	}
+	if BinWidthBytes(20) != 1 || BinWidthBytes(300) != 2 {
+		t.Fatal("BinWidthBytes wrong")
+	}
+}

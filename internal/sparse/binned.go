@@ -1,0 +1,181 @@
+package sparse
+
+import "fmt"
+
+// MaxBins is the largest number of histogram bins per feature supported by
+// the binned formats. Bin indices are stored in uint16; the paper uses
+// q=20 candidate splits, far below this ceiling.
+const MaxBins = 1 << 16
+
+// BinnedCSR stores a quantized dataset in row format: each entry is a
+// (feature index, bin index) pair. This is the storage used by QD2
+// (horizontal + row) and, after the horizontal-to-vertical transformation,
+// by QD4/Vero (vertical + row).
+type BinnedCSR struct {
+	rows, cols int
+	RowPtr     []int64
+	Feat       []uint32
+	Bin        []uint16
+}
+
+// Rows returns the number of instances.
+func (m *BinnedCSR) Rows() int { return m.rows }
+
+// Cols returns the feature dimensionality.
+func (m *BinnedCSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *BinnedCSR) NNZ() int { return len(m.Feat) }
+
+// Row returns the feature indices and bin indices of row i. The slices
+// alias matrix storage.
+func (m *BinnedCSR) Row(i int) (feat []uint32, bin []uint16) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Feat[lo:hi], m.Bin[lo:hi]
+}
+
+// BinnedCSC stores a quantized dataset in column format: each entry is an
+// (instance index, bin index) pair. This is the storage used by QD1
+// (horizontal + column) and QD3 (vertical + column).
+type BinnedCSC struct {
+	rows, cols int
+	ColPtr     []int64
+	Inst       []uint32
+	Bin        []uint16
+}
+
+// Rows returns the number of instances.
+func (m *BinnedCSC) Rows() int { return m.rows }
+
+// Cols returns the feature dimensionality.
+func (m *BinnedCSC) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *BinnedCSC) NNZ() int { return len(m.Inst) }
+
+// Col returns the instance indices and bin indices of column j, sorted by
+// instance index. The slices alias matrix storage.
+func (m *BinnedCSC) Col(j int) (inst []uint32, bin []uint16) {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	return m.Inst[lo:hi], m.Bin[lo:hi]
+}
+
+// ColNNZ returns the number of stored entries in column j.
+func (m *BinnedCSC) ColNNZ(j int) int { return int(m.ColPtr[j+1] - m.ColPtr[j]) }
+
+// Binner quantizes raw feature values into histogram-bin indices given
+// per-feature candidate split points. Bin b of feature f covers
+// (splits[f][b-1], splits[f][b]]; values at or below splits[f][0] map to
+// bin 0; values above the last split map to the last bin.
+type Binner struct {
+	// Splits[f] holds the ascending candidate split values of feature f.
+	Splits [][]float32
+}
+
+// NumBins returns the number of bins of feature f (== len(Splits[f])).
+func (b *Binner) NumBins(f int) int { return len(b.Splits[f]) }
+
+// MaxNumBins returns the largest per-feature bin count.
+func (b *Binner) MaxNumBins() int {
+	m := 0
+	for _, s := range b.Splits {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+// BinValue maps one raw value of feature f to its bin index by binary
+// search over the candidate splits.
+func (b *Binner) BinValue(f int, v float32) uint16 {
+	s := b.Splits[f]
+	lo, hi := 0, len(s)-1
+	// Find the first split >= v; values above all splits clamp to the last
+	// bin, matching how histogram-based GBDT treats out-of-range values.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint16(lo)
+}
+
+// BinCSR quantizes a raw CSR into a BinnedCSR.
+func (b *Binner) BinCSR(m *CSR) (*BinnedCSR, error) {
+	if len(b.Splits) != m.Cols() {
+		return nil, fmt.Errorf("sparse: binner has %d features, matrix has %d", len(b.Splits), m.Cols())
+	}
+	bins := make([]uint16, m.NNZ())
+	for i := 0; i < m.Rows(); i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			bins[k] = b.BinValue(int(m.Feat[k]), m.Val[k])
+		}
+	}
+	return &BinnedCSR{rows: m.Rows(), cols: m.Cols(), RowPtr: m.RowPtr, Feat: m.Feat, Bin: bins}, nil
+}
+
+// BinCSC quantizes a raw CSC into a BinnedCSC.
+func (b *Binner) BinCSC(m *CSC) (*BinnedCSC, error) {
+	if len(b.Splits) != m.Cols() {
+		return nil, fmt.Errorf("sparse: binner has %d features, matrix has %d", len(b.Splits), m.Cols())
+	}
+	bins := make([]uint16, m.NNZ())
+	for j := 0; j < m.Cols(); j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		for k := lo; k < hi; k++ {
+			bins[k] = b.BinValue(j, m.Val[k])
+		}
+	}
+	return &BinnedCSC{rows: m.Rows(), cols: m.Cols(), ColPtr: m.ColPtr, Inst: m.Inst, Bin: bins}, nil
+}
+
+// ToCSC transposes a BinnedCSR into BinnedCSC form, O(nnz).
+func (m *BinnedCSR) ToCSC() *BinnedCSC {
+	colPtr := make([]int64, m.cols+1)
+	for _, f := range m.Feat {
+		colPtr[f+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	inst := make([]uint32, m.NNZ())
+	bin := make([]uint16, m.NNZ())
+	next := make([]int64, m.cols)
+	copy(next, colPtr[:m.cols])
+	for i := 0; i < m.rows; i++ {
+		feats, bins := m.Row(i)
+		for k, f := range feats {
+			p := next[f]
+			inst[p] = uint32(i)
+			bin[p] = bins[k]
+			next[f] = p + 1
+		}
+	}
+	return &BinnedCSC{rows: m.rows, cols: m.cols, ColPtr: colPtr, Inst: inst, Bin: bin}
+}
+
+// NewBinnedCSR assembles a BinnedCSR from raw parts with validation. It is
+// used by the transformation pipeline when decoding blockified column
+// groups back into row storage.
+func NewBinnedCSR(rows, cols int, rowPtr []int64, feat []uint32, bin []uint16) (*BinnedCSR, error) {
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("sparse: rowPtr has %d entries, want %d", len(rowPtr), rows+1)
+	}
+	if len(feat) != len(bin) {
+		return nil, fmt.Errorf("sparse: %d feature indices but %d bins", len(feat), len(bin))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != int64(len(feat)) {
+		return nil, fmt.Errorf("sparse: rowPtr endpoints [%d,%d], want [0,%d]", rowPtr[0], rowPtr[rows], len(feat))
+	}
+	for _, f := range feat {
+		if int(f) >= cols {
+			return nil, fmt.Errorf("sparse: feature index %d out of range (cols=%d)", f, cols)
+		}
+	}
+	return &BinnedCSR{rows: rows, cols: cols, RowPtr: rowPtr, Feat: feat, Bin: bin}, nil
+}

@@ -1,0 +1,139 @@
+package systems
+
+import (
+	"testing"
+
+	"vero/internal/cluster"
+	"vero/internal/core"
+	"vero/internal/datasets"
+	"vero/internal/loss"
+)
+
+func testData(t *testing.T, c int) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: 1200, D: 60, C: c, InformativeRatio: 0.4, Density: 0.3, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func baseConfig() core.Config {
+	return core.Config{Trees: 3, Layers: 5, Splits: 16}
+}
+
+func TestAllSystemsTrainBinary(t *testing.T) {
+	ds := testData(t, 2)
+	train, valid := ds.Split(0.8, 5)
+	for _, s := range All() {
+		cl := cluster.New(4, cluster.Gigabit())
+		res, err := Train(cl, train, s, baseConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		auc := loss.AUC(res.Forest.PredictCSR(valid.X), valid.Labels)
+		if auc < 0.6 {
+			t.Errorf("%s: validation AUC %v", s, auc)
+		}
+	}
+}
+
+// TestSystemsAgreeOnModel: every facade is the same algorithm, so all
+// must produce the identical forest (the paper's same-code-base premise).
+func TestSystemsAgreeOnModel(t *testing.T) {
+	ds := testData(t, 2)
+	var ref *core.Result
+	for _, s := range All() {
+		cl := cluster.New(3, cluster.Gigabit())
+		res, err := Train(cl, ds, s, baseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for ti := range ref.Forest.Trees {
+			a, b := ref.Forest.Trees[ti], res.Forest.Trees[ti]
+			if len(a.Nodes) != len(b.Nodes) {
+				t.Fatalf("%s: tree %d shape differs", s, ti)
+			}
+			for ni := range a.Nodes {
+				if a.Nodes[ni].Feature != b.Nodes[ni].Feature || a.Nodes[ni].SplitBin != b.Nodes[ni].SplitBin {
+					t.Fatalf("%s: tree %d node %d differs", s, ti, ni)
+				}
+			}
+		}
+	}
+}
+
+func TestDimBoostRejectsMultiClass(t *testing.T) {
+	ds := testData(t, 4)
+	cl := cluster.New(2, cluster.Gigabit())
+	if _, err := Train(cl, ds, DimBoost, baseConfig()); err == nil {
+		t.Fatal("DimBoost accepted a multi-class dataset")
+	}
+}
+
+func TestMultiClassSystems(t *testing.T) {
+	ds := testData(t, 4)
+	for _, s := range []System{XGBoost, LightGBM, Vero} {
+		cl := cluster.New(3, cluster.Gigabit())
+		res, err := Train(cl, ds, s, baseConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		acc := loss.MultiAccuracy(res.Forest.PredictCSR(ds.X), ds.Labels, 4)
+		if acc < 0.4 {
+			t.Errorf("%s: train accuracy %v", s, acc)
+		}
+	}
+}
+
+func TestUnknownSystem(t *testing.T) {
+	ds := testData(t, 2)
+	if _, err := Configure("nope", baseConfig(), ds); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, s := range All() {
+		if Describe(s) == "unknown system" {
+			t.Errorf("%s lacks a description", s)
+		}
+	}
+}
+
+// TestHighDimCommOrdering reproduces Table 3's qualitative ordering on a
+// high-dimensional sparse workload: XGBoost moves the most bytes (full
+// all-reduce, no subtraction benefit), LightGBM less (reduce-scatter +
+// subtraction), Vero the least (placement bitmaps only).
+func TestHighDimCommOrdering(t *testing.T) {
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: 1500, D: 800, C: 2, InformativeRatio: 0.2, Density: 0.05, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBytes := func(s System) int64 {
+		cl := cluster.New(4, cluster.Gigabit())
+		if _, err := Train(cl, ds, s, baseConfig()); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, ph := range []string{"train.histogram", "train.split", "train.node", "train.update", "train.gradient"} {
+			p := cl.Stats().Phase(ph)
+			total += p.TotalBytes()
+		}
+		return total
+	}
+	xgb := trainBytes(XGBoost)
+	lgb := trainBytes(LightGBM)
+	vero := trainBytes(Vero)
+	if !(xgb > lgb && lgb > vero) {
+		t.Fatalf("byte ordering violated: xgboost=%d lightgbm=%d vero=%d", xgb, lgb, vero)
+	}
+}

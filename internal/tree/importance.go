@@ -1,0 +1,132 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ImportanceKind selects how feature importance is aggregated.
+type ImportanceKind string
+
+// Importance kinds, mirroring the conventions of the systems the paper
+// evaluates (XGBoost/LightGBM expose the same three).
+const (
+	// ImportanceGain sums Equation 2 split gains per feature.
+	ImportanceGain ImportanceKind = "gain"
+	// ImportanceSplit counts how many splits use the feature.
+	ImportanceSplit ImportanceKind = "split"
+)
+
+// FeatureImportance aggregates importance over all trees of the forest,
+// returning a map from global feature id to score.
+func (f *Forest) FeatureImportance(kind ImportanceKind) (map[int32]float64, error) {
+	out := make(map[int32]float64)
+	for _, t := range f.Trees {
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if n.IsLeaf() {
+				continue
+			}
+			switch kind {
+			case ImportanceGain:
+				out[n.Feature] += n.Gain
+			case ImportanceSplit:
+				out[n.Feature]++
+			default:
+				return nil, fmt.Errorf("tree: unknown importance kind %q", kind)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RankedFeature is one entry of a sorted importance report.
+type RankedFeature struct {
+	Feature int32
+	Score   float64
+}
+
+// TopFeatures returns the k most important features, ties broken by
+// feature id.
+func (f *Forest) TopFeatures(kind ImportanceKind, k int) ([]RankedFeature, error) {
+	imp, err := f.FeatureImportance(kind)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RankedFeature, 0, len(imp))
+	for feat, score := range imp {
+		out = append(out, RankedFeature{Feature: feat, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Dump renders the tree as an indented text diagram, one node per line —
+// the diagnostic format every mature GBDT system ships.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	var walk func(id int32, depth int)
+	walk = func(id int32, depth int) {
+		n := &t.Nodes[id]
+		indent := strings.Repeat("  ", depth)
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%s%d: leaf weights=%v\n", indent, id, n.Weights)
+			return
+		}
+		dir := "right"
+		if n.DefaultLeft {
+			dir = "left"
+		}
+		fmt.Fprintf(&b, "%s%d: [f%d <= %g] gain=%.4f default=%s\n",
+			indent, id, n.Feature, n.SplitValue, n.Gain, dir)
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	if len(t.Nodes) > 0 {
+		walk(0, 0)
+	}
+	return b.String()
+}
+
+// Stats summarizes a forest for reporting.
+type Stats struct {
+	NumTrees    int
+	TotalNodes  int
+	TotalLeaves int
+	MaxDepth    int
+	// MeanGain is the average split gain across all interior nodes.
+	MeanGain float64
+}
+
+// Summarize computes forest statistics.
+func (f *Forest) Summarize() Stats {
+	s := Stats{NumTrees: len(f.Trees)}
+	var gainSum float64
+	var splits int
+	for _, t := range f.Trees {
+		s.TotalNodes += len(t.Nodes)
+		s.TotalLeaves += t.NumLeaves()
+		if d := t.MaxDepth(); d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		for i := range t.Nodes {
+			if !t.Nodes[i].IsLeaf() {
+				gainSum += t.Nodes[i].Gain
+				splits++
+			}
+		}
+	}
+	if splits > 0 {
+		s.MeanGain = gainSum / float64(splits)
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func importanceFixture(t *testing.T) *Forest {
+	t.Helper()
+	f := NewForest(1, 1.0, []float64{0}, "square", 3)
+	// Tree 1: root on feature 0 (gain 10), left child on feature 1 (gain 4).
+	t1 := New(1)
+	l, r := t1.Split(0, 0, 0.5, 0, false, 10)
+	t1.SetLeaf(r, []float64{1})
+	ll, lr := t1.Split(l, 1, 0.5, 0, false, 4)
+	t1.SetLeaf(ll, []float64{2})
+	t1.SetLeaf(lr, []float64{3})
+	f.Append(t1)
+	// Tree 2: root on feature 0 again (gain 2).
+	t2 := New(1)
+	a, b := t2.Split(0, 0, 0.1, 0, true, 2)
+	t2.SetLeaf(a, []float64{0})
+	t2.SetLeaf(b, []float64{1})
+	f.Append(t2)
+	return f
+}
+
+func TestFeatureImportanceGain(t *testing.T) {
+	f := importanceFixture(t)
+	imp, err := f.FeatureImportance(ImportanceGain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0] != 12 || imp[1] != 4 {
+		t.Fatalf("gain importance = %v", imp)
+	}
+}
+
+func TestFeatureImportanceSplit(t *testing.T) {
+	f := importanceFixture(t)
+	imp, err := f.FeatureImportance(ImportanceSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0] != 2 || imp[1] != 1 {
+		t.Fatalf("split importance = %v", imp)
+	}
+}
+
+func TestFeatureImportanceUnknownKind(t *testing.T) {
+	f := importanceFixture(t)
+	if _, err := f.FeatureImportance("cover"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	f := importanceFixture(t)
+	top, err := f.TopFeatures(ImportanceGain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Feature != 0 || top[0].Score != 12 {
+		t.Fatalf("top = %v", top)
+	}
+	all, err := f.TopFeatures(ImportanceGain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestDump(t *testing.T) {
+	f := importanceFixture(t)
+	d := f.Trees[0].Dump()
+	for _, want := range []string{"[f0 <= 0.5]", "gain=10.0000", "leaf weights=[1]", "default=right"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+	// Default-left tree prints default=left.
+	if !strings.Contains(f.Trees[1].Dump(), "default=left") {
+		t.Fatal("default-left not rendered")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	f := importanceFixture(t)
+	s := f.Summarize()
+	if s.NumTrees != 2 || s.TotalLeaves != 5 || s.MaxDepth != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	wantMean := (10.0 + 4 + 2) / 3
+	if s.MeanGain != wantMean {
+		t.Fatalf("mean gain = %v, want %v", s.MeanGain, wantMean)
+	}
+}
