@@ -13,8 +13,12 @@
 package vero_test
 
 import (
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
+	"vero/gbdt"
 	"vero/internal/costmodel"
 	"vero/internal/experiments"
 	"vero/internal/partition"
@@ -275,4 +279,111 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Inference benchmarks: the serving-side comparison between the training
+// forest's pointer walk and the flattened SoA engine (gbdt.Predictor).
+
+var inferOnce struct {
+	sync.Once
+	model   *gbdt.Model
+	pred    *gbdt.Predictor
+	traffic *gbdt.Dataset
+	err     error
+}
+
+// inferSetup trains one 100-tree binary model and holds out a traffic set,
+// shared by every inference benchmark.
+func inferSetup(b *testing.B) (*gbdt.Model, *gbdt.Predictor, *gbdt.Dataset) {
+	b.Helper()
+	s := &inferOnce
+	s.Do(func() {
+		ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+			N: 40000, D: 200, C: 2,
+			InformativeRatio: 0.2, Density: 0.2, LabelNoise: 0.05, Seed: 9,
+		})
+		if err != nil {
+			s.err = err
+			return
+		}
+		train, traffic := ds.Split(0.5, 9)
+		model, _, err := gbdt.Train(train, gbdt.Options{Workers: 8, Trees: 100, Layers: 6, Seed: 9})
+		if err != nil {
+			s.err = err
+			return
+		}
+		pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{})
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.model, s.pred, s.traffic = model, pred, traffic
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.model, s.pred, s.traffic
+}
+
+// BenchmarkInferencePointerWalk scores the traffic set with the training
+// forest's per-node pointer walk (the pre-serving baseline).
+func BenchmarkInferencePointerWalk(b *testing.B) {
+	model, _, traffic := inferSetup(b)
+	forest := model.Forest()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		forest.PredictCSR(traffic.X)
+	}
+	rows := float64(b.N) * float64(traffic.NumInstances())
+	b.ReportMetric(rows/time.Since(start).Seconds(), "rows/s")
+}
+
+// BenchmarkInferenceFlat scores the traffic set with the flat engine on a
+// single goroutine — the layout win alone.
+func BenchmarkInferenceFlat(b *testing.B) {
+	model, _, traffic := inferSetup(b)
+	pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		pred.Predict(traffic)
+	}
+	rows := float64(b.N) * float64(traffic.NumInstances())
+	b.ReportMetric(rows/time.Since(start).Seconds(), "rows/s")
+}
+
+// BenchmarkInferenceFlatParallel adds the goroutine-parallel batch path —
+// the configuration cmd/veroserve runs.
+func BenchmarkInferenceFlatParallel(b *testing.B) {
+	_, pred, traffic := inferSetup(b)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		pred.Predict(traffic)
+	}
+	rows := float64(b.N) * float64(traffic.NumInstances())
+	b.ReportMetric(rows/time.Since(start).Seconds(), "rows/s")
+}
+
+// BenchmarkInferenceRowLatency measures single-row latency through the
+// flat engine — the veroserve single-request path — and reports p50/p99.
+func BenchmarkInferenceRowLatency(b *testing.B) {
+	_, pred, traffic := inferSetup(b)
+	out := make([]float64, pred.NumClass())
+	lat := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feat, val := traffic.X.Row(i % traffic.NumInstances())
+		t0 := time.Now()
+		pred.PredictRowInto(feat, val, out)
+		lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+	}
+	b.StopTimer()
+	sort.Float64s(lat)
+	b.ReportMetric(lat[len(lat)/2], "p50_us")
+	b.ReportMetric(lat[len(lat)*99/100], "p99_us")
 }

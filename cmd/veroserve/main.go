@@ -1,0 +1,67 @@
+// Command veroserve serves single-row and batch JSON predictions for a
+// model trained with gbdt.Train and saved with Model.Encode (for example
+// by `veroctl train -model model.json`).
+//
+// Usage:
+//
+//	veroserve -model model.json [-addr :8080] [-workers 0] [-max-inflight 64] [-max-batch 10000]
+//
+// Endpoints (see internal/serve for the wire format):
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/model
+//	curl -d '{"rows":[{"indices":[0,3],"values":[1.5,-2]}],"proba":true}' localhost:8080/v1/predict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"vero/gbdt"
+	"vero/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath   = flag.String("model", "", "path to a model saved with Model.Encode (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "prediction goroutines per batch (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 64, "concurrent predict requests before queueing")
+		maxBatch    = flag.Int("max-batch", 10000, "maximum rows per predict request")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		log.Fatalf("veroserve: %v", err)
+	}
+	model, err := gbdt.DecodeModel(data)
+	if err != nil {
+		log.Fatalf("veroserve: %v", err)
+	}
+	srv, err := serve.New(model, *modelPath, serve.Options{
+		Workers:      *workers,
+		MaxInFlight:  *maxInflight,
+		MaxBatchRows: *maxBatch,
+	})
+	if err != nil {
+		log.Fatalf("veroserve: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("veroserve: %d trees, %d classes, objective %q on %s\n",
+		model.NumTrees(), model.Forest().NumClass, model.Forest().Objective, *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

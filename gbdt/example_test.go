@@ -1,0 +1,122 @@
+package gbdt_test
+
+import (
+	"fmt"
+	"log"
+
+	"vero/gbdt"
+)
+
+// ExampleTrain is the README quickstart: generate data with the paper's
+// synthetic generator, train Vero on a simulated 8-worker cluster, and
+// evaluate on a held-out split.
+func ExampleTrain() {
+	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+		N: 4000, D: 50, C: 2,
+		InformativeRatio: 0.3, Density: 0.3, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, valid := ds.Split(0.8, 1)
+
+	model, report, err := gbdt.Train(train, gbdt.Options{
+		System: gbdt.SystemVero, Workers: 8, Trees: 10, Layers: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trees:", model.NumTrees())
+	fmt.Println("communicated bytes > 0:", report.CommBytes > 0)
+	fmt.Println("validation AUC > 0.80:", gbdt.AUC(model, valid) > 0.80)
+	// Output:
+	// trees: 10
+	// communicated bytes > 0: true
+	// validation AUC > 0.80: true
+}
+
+// ExampleModel_Predict scores a dataset through the flat serving engine
+// and shows the score layout: row-major margins with stride NumClass.
+func ExampleModel_Predict() {
+	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+		N: 2000, D: 30, C: 2,
+		InformativeRatio: 0.3, Density: 0.4, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _, err := gbdt.Train(ds, gbdt.Options{Workers: 4, Trees: 5, Layers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scores := model.Predict(ds)
+	fmt.Println("scores per row:", len(scores)/ds.NumInstances())
+
+	// Single rows use the same engine; margins agree bit-exactly.
+	feat, val := ds.X.Row(0)
+	row := model.PredictRow(feat, val)
+	fmt.Println("single-row matches batch:", row[0] == scores[0])
+	// Output:
+	// scores per row: 1
+	// single-row matches batch: true
+}
+
+// ExampleDecodeModel round-trips a model through Encode — the artifact
+// cmd/veroserve loads — and verifies predictions survive bit-exactly.
+func ExampleDecodeModel() {
+	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+		N: 2000, D: 30, C: 3,
+		InformativeRatio: 0.3, Density: 0.4, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _, err := gbdt.Train(ds, gbdt.Options{Workers: 4, Trees: 5, Layers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data, err := model.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := gbdt.DecodeModel(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, after := model.Predict(ds), decoded.Predict(ds)
+	exact := true
+	for i := range before {
+		if before[i] != after[i] {
+			exact = false
+		}
+	}
+	fmt.Println("decoded trees:", decoded.NumTrees())
+	fmt.Println("predictions bit-exact:", exact)
+	// Output:
+	// decoded trees: 5
+	// predictions bit-exact: true
+}
+
+// ExampleAdviseDataset asks the paper's cost model (Section 3.1) which
+// data-management quadrant suits a high-dimensional workload.
+func ExampleAdviseDataset() {
+	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+		N: 3000, D: 20000, C: 2,
+		InformativeRatio: 0.1, Density: 0.01, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	advice, err := gbdt.AdviseDataset(ds, 8, gbdt.Gigabit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("quadrant:", advice.Quadrant)
+	fmt.Println("partitioning:", advice.Partitioning)
+	// Output:
+	// quadrant: 3
+	// partitioning: vertical
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"vero/internal/cluster"
 	"vero/internal/core"
@@ -137,9 +138,13 @@ type Options struct {
 // Tree is a single decision tree of a trained model.
 type Tree = tree.Tree
 
-// Model is a trained GBDT forest.
+// Model is a trained GBDT forest. A model is immutable once trained or
+// decoded; prediction compiles the forest into the flat serving engine
+// (see Predictor) on first use and is safe for concurrent use.
 type Model struct {
-	forest *tree.Forest
+	forest   *tree.Forest
+	flatOnce sync.Once
+	flat     *tree.FlatForest
 }
 
 // Forest exposes the underlying forest.
@@ -148,14 +153,22 @@ func (m *Model) Forest() *tree.Forest { return m.forest }
 // NumTrees returns the number of trees.
 func (m *Model) NumTrees() int { return m.forest.NumTrees() }
 
+// flatForest compiles the forest on first use.
+func (m *Model) flatForest() *tree.FlatForest {
+	m.flatOnce.Do(func() { m.flat = tree.Compile(m.forest) })
+	return m.flat
+}
+
 // PredictRow returns raw scores (margins) for one sparse row.
 func (m *Model) PredictRow(feat []uint32, val []float32) []float64 {
-	return m.forest.PredictRow(feat, val)
+	return m.flatForest().PredictRow(feat, val)
 }
 
 // Predict returns raw scores for every instance of ds, row-major with
-// stride NumClass.
-func (m *Model) Predict(ds *Dataset) []float64 { return m.forest.PredictCSR(ds.X) }
+// stride NumClass, computed in parallel by the flat serving engine.
+func (m *Model) Predict(ds *Dataset) []float64 {
+	return m.flatForest().PredictCSR(ds.X, 0) // 0: default worker count
+}
 
 // Encode serializes the model to JSON.
 func (m *Model) Encode() ([]byte, error) { return m.forest.Encode() }

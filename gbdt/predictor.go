@@ -1,0 +1,161 @@
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"vero/internal/tree"
+)
+
+// Predictor is the serving-side inference engine: a Model compiled into a
+// flattened, cache-friendly forest plus a bounded goroutine pool for batch
+// scoring. A Predictor is immutable and safe for concurrent use; build one
+// per loaded model and share it across request handlers.
+type Predictor struct {
+	flat      *tree.FlatForest
+	objective string
+	workers   int
+}
+
+// PredictorOptions configures NewPredictor.
+type PredictorOptions struct {
+	// Workers bounds the goroutines used per batch-prediction call
+	// (default GOMAXPROCS).
+	Workers int
+}
+
+// NewPredictor compiles the model's forest into the flat inference engine.
+// The compiled forest is shared with the model's own Predict path, so
+// building a Predictor for a model that is also evaluated in-process costs
+// nothing extra.
+func NewPredictor(m *Model, opts PredictorOptions) (*Predictor, error) {
+	flat := m.flatForest()
+	if err := flat.Validate(); err != nil {
+		return nil, fmt.Errorf("gbdt: compile predictor: %w", err)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Predictor{flat: flat, objective: m.forest.Objective, workers: workers}, nil
+}
+
+// NumClass returns the per-row score dimensionality (1 for regression and
+// binary models, C for multi-class).
+func (p *Predictor) NumClass() int { return p.flat.NumClass() }
+
+// NumTrees returns the number of compiled trees.
+func (p *Predictor) NumTrees() int { return p.flat.NumTrees() }
+
+// Objective returns the model's training objective ("square", "logistic"
+// or "softmax").
+func (p *Predictor) Objective() string { return p.objective }
+
+// PredictRow returns raw scores (margins) for one sparse row, given as
+// parallel feature-id/value slices sorted by feature id.
+func (p *Predictor) PredictRow(feat []uint32, val []float32) []float64 {
+	return p.flat.PredictRow(feat, val)
+}
+
+// PredictRowInto is PredictRow without the allocation; out must have
+// length NumClass.
+func (p *Predictor) PredictRowInto(feat []uint32, val []float32, out []float64) {
+	p.flat.PredictRowInto(feat, val, out)
+}
+
+// Predict returns raw scores for every instance of ds, row-major with
+// stride NumClass, scored in parallel by the predictor's worker pool.
+func (p *Predictor) Predict(ds *Dataset) []float64 {
+	return p.flat.PredictCSR(ds.X, p.workers)
+}
+
+// predictRowsChunk is the number of rows one parallel work unit claims.
+const predictRowsChunk = 64
+
+// PredictRows scores a batch of independent sparse rows (parallel
+// feature-id/value slices per row, each sorted by feature id) with the
+// predictor's worker pool, returning margins row-major with stride
+// NumClass. This is the batch path behind cmd/veroserve.
+func (p *Predictor) PredictRows(feats [][]uint32, vals [][]float32) []float64 {
+	n := len(feats)
+	k := p.flat.NumClass()
+	out := make([]float64, n*k)
+	workers := p.workers
+	if max := (n + predictRowsChunk - 1) / predictRowsChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			p.flat.PredictRowInto(feats[i], vals[i], out[i*k:(i+1)*k])
+		}
+		return out
+	}
+	next := make(chan int)
+	go func() {
+		for lo := 0; lo < n; lo += predictRowsChunk {
+			next <- lo
+		}
+		close(next)
+	}()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for lo := range next {
+				hi := lo + predictRowsChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					p.flat.PredictRowInto(feats[i], vals[i], out[i*k:(i+1)*k])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Probabilities converts raw scores (as returned by Predict or PredictRow,
+// row-major with stride NumClass) into per-row probabilities: sigmoid for
+// logistic models, softmax for multi-class. For regression models the
+// scores are returned unchanged.
+func (p *Predictor) Probabilities(scores []float64) []float64 {
+	k := p.flat.NumClass()
+	out := make([]float64, len(scores))
+	switch {
+	case p.objective == "softmax" && k > 1:
+		for i := 0; i+k <= len(scores); i += k {
+			softmaxInto(scores[i:i+k], out[i:i+k])
+		}
+	case p.objective == "logistic":
+		for i, s := range scores {
+			out[i] = 1 / (1 + math.Exp(-s))
+		}
+	default:
+		copy(out, scores)
+	}
+	return out
+}
+
+// softmaxInto writes the numerically-stable softmax of row into out.
+func softmaxInto(row, out []float64) {
+	max := row[0]
+	for _, v := range row[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range row {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}

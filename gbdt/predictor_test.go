@@ -1,0 +1,151 @@
+package gbdt
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func trainSmall(t testing.TB, classes int) (*Model, *Dataset) {
+	t.Helper()
+	var (
+		ds  *Dataset
+		err error
+	)
+	if classes == 1 {
+		ds, err = SyntheticRegression(2000, 40, 0.4, 0.1, 3)
+	} else {
+		ds, err = Synthetic(SyntheticConfig{
+			N: 2000, D: 40, C: classes,
+			InformativeRatio: 0.3, Density: 0.4, Seed: 3,
+		})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := Train(ds, Options{Workers: 4, Trees: 8, Layers: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, ds
+}
+
+// TestPredictorMatchesPointerWalk pins the serving engine to the training
+// forest's pointer-walk output, bit-exactly, across task types.
+func TestPredictorMatchesPointerWalk(t *testing.T) {
+	for _, classes := range []int{1, 2, 4} {
+		model, ds := trainSmall(t, classes)
+		want := model.Forest().PredictCSR(ds.X)
+
+		p, err := NewPredictor(model, PredictorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Predict(ds)
+		if len(got) != len(want) {
+			t.Fatalf("classes=%d: %d scores, want %d", classes, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("classes=%d: score[%d] = %v, want %v", classes, i, got[i], want[i])
+			}
+		}
+
+		// Model.Predict now routes through the same engine.
+		viaModel := model.Predict(ds)
+		for i := range viaModel {
+			if viaModel[i] != want[i] {
+				t.Fatalf("classes=%d: Model.Predict[%d] = %v, want %v", classes, i, viaModel[i], want[i])
+			}
+		}
+
+		// Single-row path.
+		feat, val := ds.X.Row(5)
+		rowGot := p.PredictRow(feat, val)
+		k := p.NumClass()
+		for c := range rowGot {
+			if rowGot[c] != want[5*k+c] {
+				t.Fatalf("classes=%d: PredictRow[%d] = %v, want %v", classes, c, rowGot[c], want[5*k+c])
+			}
+		}
+	}
+}
+
+func TestPredictorConcurrentUse(t *testing.T) {
+	model, ds := trainSmall(t, 2)
+	p, err := NewPredictor(model, PredictorOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Predict(ds)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := p.Predict(ds)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("concurrent Predict diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPredictorProbabilities(t *testing.T) {
+	// Binary: sigmoid of margins, in (0,1).
+	model, ds := trainSmall(t, 2)
+	p, err := NewPredictor(model, PredictorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Objective() != "logistic" {
+		t.Fatalf("objective %q, want logistic", p.Objective())
+	}
+	scores := p.Predict(ds)
+	probs := p.Probabilities(scores)
+	for i, pr := range probs {
+		if pr <= 0 || pr >= 1 {
+			t.Fatalf("prob[%d] = %v outside (0,1)", i, pr)
+		}
+		want := 1 / (1 + math.Exp(-scores[i]))
+		if math.Abs(pr-want) > 1e-15 {
+			t.Fatalf("prob[%d] = %v, want sigmoid %v", i, pr, want)
+		}
+	}
+
+	// Multi-class: softmax rows sum to 1.
+	model, ds = trainSmall(t, 3)
+	p, err = NewPredictor(model, PredictorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs = p.Probabilities(p.Predict(ds))
+	k := p.NumClass()
+	for i := 0; i+k <= len(probs); i += k {
+		sum := 0.0
+		for _, v := range probs[i : i+k] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("softmax row %d sums to %v", i/k, sum)
+		}
+	}
+
+	// Regression: identity.
+	model, ds = trainSmall(t, 1)
+	p, err = NewPredictor(model, PredictorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores = p.Predict(ds)
+	probs = p.Probabilities(scores)
+	for i := range probs {
+		if probs[i] != scores[i] {
+			t.Fatalf("regression Probabilities altered score %d", i)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module vero
+
+go 1.24

@@ -160,9 +160,6 @@ func (c *Config) setDefaults() error {
 	if c.SketchEps == 0 {
 		c.SketchEps = 0.01
 	}
-	if c.Objective == "" {
-		c.Objective = "logistic"
-	}
 	if c.FullCopy && c.Quadrant != QD4 {
 		return fmt.Errorf("core: FullCopy (feature-parallel) requires QD4, got %v", c.Quadrant)
 	}
@@ -221,15 +218,22 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 	return t.run()
 }
 
-// objective resolves the loss from config and dataset.
+// objective resolves the loss from config and dataset: square for
+// regression datasets, logistic for binary, softmax for multi-class when
+// the caller left the objective empty or at the default binary objective.
 func objective(ds *datasets.Dataset, cfg Config) (loss.Objective, error) {
 	name := cfg.Objective
 	numClass := cfg.NumClass
 	if numClass == 0 {
 		numClass = ds.NumClass
 	}
-	// Auto-upgrade to softmax for multi-class datasets when the caller
-	// left the default binary objective.
+	if name == "" {
+		if numClass == 1 {
+			name = "square"
+		} else {
+			name = "logistic"
+		}
+	}
 	if name == "logistic" && numClass > 2 {
 		name = "softmax"
 	}

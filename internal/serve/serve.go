@@ -1,0 +1,247 @@
+// Package serve implements the model-serving HTTP layer behind
+// cmd/veroserve: JSON prediction endpoints over a compiled gbdt.Predictor
+// with bounded request concurrency.
+//
+// Endpoints:
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/model    model metadata (trees, classes, objective, features)
+//	POST /v1/predict  single-row or batch prediction
+//
+// A predict request carries sparse rows (parallel indices/values arrays),
+// dense rows, or both:
+//
+//	{"rows": [{"indices": [0, 7], "values": [1.5, -2.0]}],
+//	 "dense": [[1.5, 0, 0, 0, 0, 0, 0, -2.0]],
+//	 "proba": true}
+//
+// The response returns raw margins per row (stride num_class) and, when
+// proba is set, sigmoid/softmax probabilities:
+//
+//	{"num_class": 1, "scores": [[0.83]], "probabilities": [[0.69]]}
+//
+// Concurrency is bounded two ways: MaxInFlight caps the predict requests
+// decoded and scored at once (excess requests wait, honoring request
+// cancellation), and the predictor's worker pool caps the goroutines one
+// batch fans out to.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"vero/gbdt"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the prediction goroutines per batch (default
+	// GOMAXPROCS, via gbdt.PredictorOptions).
+	Workers int
+	// MaxInFlight bounds concurrently served predict requests (default 64).
+	MaxInFlight int
+	// MaxBatchRows rejects predict requests with more rows (default 10000).
+	MaxBatchRows int
+}
+
+// Server serves predictions for one loaded model.
+type Server struct {
+	pred         *gbdt.Predictor
+	name         string
+	numFeature   int
+	maxBatchRows int
+	inflight     chan struct{}
+}
+
+// New compiles the model and returns a ready Server. name is echoed in
+// /v1/model (typically the model file path).
+func New(model *gbdt.Model, name string, opts Options) (*Server, error) {
+	pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 64
+	}
+	if opts.MaxBatchRows <= 0 {
+		opts.MaxBatchRows = 10000
+	}
+	return &Server{
+		pred:         pred,
+		name:         name,
+		numFeature:   model.Forest().NumFeature,
+		maxBatchRows: opts.MaxBatchRows,
+		inflight:     make(chan struct{}, opts.MaxInFlight),
+	}, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	return mux
+}
+
+// ModelInfo is the /v1/model response.
+type ModelInfo struct {
+	Name       string `json:"name"`
+	NumTrees   int    `json:"num_trees"`
+	NumClass   int    `json:"num_class"`
+	NumFeature int    `json:"num_feature"`
+	Objective  string `json:"objective"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ModelInfo{
+		Name:       s.name,
+		NumTrees:   s.pred.NumTrees(),
+		NumClass:   s.pred.NumClass(),
+		NumFeature: s.numFeature,
+		Objective:  s.pred.Objective(),
+	})
+}
+
+// SparseRow is one instance in sparse form: parallel feature-id/value
+// arrays, in any order, duplicates rejected.
+type SparseRow struct {
+	Indices []uint32  `json:"indices"`
+	Values  []float32 `json:"values"`
+}
+
+// PredictRequest is the /v1/predict request body. Sparse rows are scored
+// first, then dense rows.
+type PredictRequest struct {
+	Rows  []SparseRow `json:"rows,omitempty"`
+	Dense [][]float32 `json:"dense,omitempty"`
+	// Proba requests sigmoid/softmax probabilities alongside raw margins.
+	Proba bool `json:"proba,omitempty"`
+}
+
+// PredictResponse is the /v1/predict response body.
+type PredictResponse struct {
+	NumClass      int         `json:"num_class"`
+	Scores        [][]float64 `json:"scores"`
+	Probabilities [][]float64 `json:"probabilities,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Bounded concurrency: wait for an in-flight slot or client hang-up.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "request canceled while waiting for capacity"})
+		return
+	}
+
+	var req PredictRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode request: " + err.Error()})
+		return
+	}
+	n := len(req.Rows) + len(req.Dense)
+	if n == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty request: provide rows or dense"})
+		return
+	}
+	if n > s.maxBatchRows {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			apiError{Error: fmt.Sprintf("%d rows exceeds batch limit %d", n, s.maxBatchRows)})
+		return
+	}
+
+	feats := make([][]uint32, 0, n)
+	vals := make([][]float32, 0, n)
+	for i := range req.Rows {
+		feat, val, err := normalizeSparse(req.Rows[i])
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("row %d: %v", i, err)})
+			return
+		}
+		feats, vals = append(feats, feat), append(vals, val)
+	}
+	for _, dense := range req.Dense {
+		feat, val := sparsify(dense)
+		feats, vals = append(feats, feat), append(vals, val)
+	}
+	margins := s.pred.PredictRows(feats, vals)
+
+	k := s.pred.NumClass()
+	resp := PredictResponse{NumClass: k, Scores: reshape(margins, k)}
+	if req.Proba {
+		resp.Probabilities = reshape(s.pred.Probabilities(margins), k)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// normalizeSparse validates one sparse row and returns it sorted by
+// feature id, as the prediction engine requires.
+func normalizeSparse(row SparseRow) ([]uint32, []float32, error) {
+	if len(row.Indices) != len(row.Values) {
+		return nil, nil, fmt.Errorf("%d indices but %d values", len(row.Indices), len(row.Values))
+	}
+	feat := append([]uint32(nil), row.Indices...)
+	val := append([]float32(nil), row.Values...)
+	if !sort.SliceIsSorted(feat, func(i, j int) bool { return feat[i] < feat[j] }) {
+		order := make([]int, len(feat))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return feat[order[i]] < feat[order[j]] })
+		sf := make([]uint32, len(feat))
+		sv := make([]float32, len(val))
+		for i, o := range order {
+			sf[i] = feat[o]
+			sv[i] = val[o]
+		}
+		feat, val = sf, sv
+	}
+	for i := 1; i < len(feat); i++ {
+		if feat[i] == feat[i-1] {
+			return nil, nil, fmt.Errorf("duplicate feature index %d", feat[i])
+		}
+	}
+	return feat, val, nil
+}
+
+// sparsify converts a dense row to sorted sparse form, dropping zeros
+// (the storage convention of the training data).
+func sparsify(dense []float32) ([]uint32, []float32) {
+	var feat []uint32
+	var val []float32
+	for j, v := range dense {
+		if v != 0 {
+			feat = append(feat, uint32(j))
+			val = append(val, v)
+		}
+	}
+	return feat, val
+}
+
+// reshape splits a flat stride-k score vector into per-row slices.
+func reshape(flat []float64, k int) [][]float64 {
+	rows := make([][]float64, len(flat)/k)
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k]
+	}
+	return rows
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

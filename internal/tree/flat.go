@@ -1,0 +1,279 @@
+// Flattened forest representation for low-latency inference.
+//
+// Training produces a Forest of per-tree Node slices whose JSON-tagged
+// nodes carry per-node weight slices and diagnostic fields. That layout is
+// convenient for growing and serializing trees but hostile to the serving
+// hot path: every node visit chases a slice header, every feature probe
+// binary-searches the sparse row, and every leaf allocates nothing but
+// touches scattered cache lines.
+//
+// FlatForest compiles a trained Forest once into structure-of-arrays form:
+// feature ids, thresholds, child links, default directions and leaf
+// weights each live in one contiguous slice shared by every tree, and
+// rows are scattered into a dense per-goroutine scratch so routing probes
+// features in O(1). The compiled engine produces bit-exact the same
+// margins as the pointer walk (identical routing predicate, identical
+// accumulation order) and is safe for concurrent use.
+package tree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vero/internal/sparse"
+)
+
+// FlatForest is an immutable, cache-friendly compilation of a Forest.
+// All exported methods are safe for concurrent use.
+type FlatForest struct {
+	numClass  int
+	initScore []float64
+	// scratchDim is 1 + the largest feature id any split routes on; a
+	// dense scratch of this size suffices regardless of NumFeature.
+	scratchDim int
+
+	// Structure-of-arrays node storage, all trees concatenated. Node i is
+	// a leaf when feature[i] < 0, in which case left[i] is the offset of
+	// its weight block in weights (stride numClass) and right[i] is
+	// unused. Interior nodes hold absolute child indexes.
+	feature     []int32
+	threshold   []float32
+	left        []int32
+	right       []int32
+	defaultLeft []bool
+	// weights holds leaf outputs pre-scaled by the learning rate, so
+	// accumulation is a single fused add per class.
+	weights []float64
+
+	// roots[t] is the absolute index of tree t's root.
+	roots []int32
+
+	scratch sync.Pool
+}
+
+// flatScratch is a per-goroutine dense view of one sparse row.
+type flatScratch struct {
+	val     []float32
+	present []bool
+	touched []int32
+}
+
+// Compile flattens a trained forest. The forest must not be mutated
+// afterwards; the compiled engine captures its current trees.
+func Compile(f *Forest) *FlatForest {
+	ff := &FlatForest{
+		numClass:  f.NumClass,
+		initScore: append([]float64(nil), f.InitScore...),
+		roots:     make([]int32, 0, len(f.Trees)),
+	}
+	total := 0
+	for _, t := range f.Trees {
+		total += len(t.Nodes)
+	}
+	ff.feature = make([]int32, 0, total)
+	ff.threshold = make([]float32, 0, total)
+	ff.left = make([]int32, 0, total)
+	ff.right = make([]int32, 0, total)
+	ff.defaultLeft = make([]bool, 0, total)
+
+	maxFeat := int32(-1)
+	for _, t := range f.Trees {
+		base := int32(len(ff.feature))
+		ff.roots = append(ff.roots, base)
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if n.IsLeaf() {
+				off := int32(len(ff.weights))
+				ff.feature = append(ff.feature, -1)
+				ff.threshold = append(ff.threshold, 0)
+				ff.left = append(ff.left, off)
+				ff.right = append(ff.right, NoChild)
+				ff.defaultLeft = append(ff.defaultLeft, false)
+				for k := 0; k < f.NumClass; k++ {
+					w := 0.0
+					if k < len(n.Weights) {
+						w = f.LearningRate * n.Weights[k]
+					}
+					ff.weights = append(ff.weights, w)
+				}
+				continue
+			}
+			if n.Feature > maxFeat {
+				maxFeat = n.Feature
+			}
+			ff.feature = append(ff.feature, n.Feature)
+			ff.threshold = append(ff.threshold, n.SplitValue)
+			ff.left = append(ff.left, base+n.Left)
+			ff.right = append(ff.right, base+n.Right)
+			ff.defaultLeft = append(ff.defaultLeft, n.DefaultLeft)
+		}
+	}
+	ff.scratchDim = int(maxFeat) + 1
+	ff.scratch.New = func() any {
+		return &flatScratch{
+			val:     make([]float32, ff.scratchDim),
+			present: make([]bool, ff.scratchDim),
+			touched: make([]int32, 0, 64),
+		}
+	}
+	return ff
+}
+
+// NumClass returns the per-row output dimensionality.
+func (ff *FlatForest) NumClass() int { return ff.numClass }
+
+// NumTrees returns the number of compiled trees.
+func (ff *FlatForest) NumTrees() int { return len(ff.roots) }
+
+// NumNodes returns the total node count across all trees.
+func (ff *FlatForest) NumNodes() int { return len(ff.feature) }
+
+// scatter loads a sparse row into the dense scratch. Features beyond
+// scratchDim are never routed on by any split and are skipped.
+func (s *flatScratch) scatter(feat []uint32, val []float32, dim int) {
+	for i, f := range feat {
+		if int(f) >= dim {
+			continue
+		}
+		s.val[f] = val[i]
+		s.present[f] = true
+		s.touched = append(s.touched, int32(f))
+	}
+}
+
+// clear resets only the entries scatter touched.
+func (s *flatScratch) clear() {
+	for _, f := range s.touched {
+		s.present[f] = false
+	}
+	s.touched = s.touched[:0]
+}
+
+// predictScattered walks every tree for the row currently loaded in s and
+// accumulates the pre-scaled leaf weights into out (length numClass).
+func (ff *FlatForest) predictScattered(s *flatScratch, out []float64) {
+	for _, root := range ff.roots {
+		id := root
+		for {
+			f := ff.feature[id]
+			if f < 0 {
+				w := ff.weights[ff.left[id] : ff.left[id]+int32(ff.numClass)]
+				for k := range w {
+					out[k] += w[k]
+				}
+				break
+			}
+			if s.present[f] {
+				if s.val[f] <= ff.threshold[id] {
+					id = ff.left[id]
+				} else {
+					id = ff.right[id]
+				}
+			} else if ff.defaultLeft[id] {
+				id = ff.left[id]
+			} else {
+				id = ff.right[id]
+			}
+		}
+	}
+}
+
+// PredictRowInto computes the raw scores (margins) of one sparse row into
+// out, which must have length NumClass.
+func (ff *FlatForest) PredictRowInto(feat []uint32, val []float32, out []float64) {
+	copy(out, ff.initScore)
+	s := ff.scratch.Get().(*flatScratch)
+	s.scatter(feat, val, ff.scratchDim)
+	ff.predictScattered(s, out)
+	s.clear()
+	ff.scratch.Put(s)
+}
+
+// PredictRow returns the raw scores (margins) of one sparse row.
+func (ff *FlatForest) PredictRow(feat []uint32, val []float32) []float64 {
+	out := make([]float64, ff.numClass)
+	ff.PredictRowInto(feat, val, out)
+	return out
+}
+
+// batchRows is the number of rows one parallel work unit claims; large
+// enough to amortize scheduling, small enough to balance skewed rows.
+const batchRows = 256
+
+// PredictCSR returns the raw scores of every row of m, row-major with
+// stride NumClass, computed by `workers` goroutines (0 or negative means
+// GOMAXPROCS).
+func (ff *FlatForest) PredictCSR(m *sparse.CSR, workers int) []float64 {
+	rows := m.Rows()
+	out := make([]float64, rows*ff.numClass)
+	if rows == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (rows + batchRows - 1) / batchRows; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		ff.predictRange(m, 0, rows, out)
+		return out
+	}
+	next := make(chan int)
+	go func() {
+		for lo := 0; lo < rows; lo += batchRows {
+			next <- lo
+		}
+		close(next)
+	}()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for lo := range next {
+				hi := lo + batchRows
+				if hi > rows {
+					hi = rows
+				}
+				ff.predictRange(m, lo, hi, out)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// predictRange scores rows [lo, hi) with one scratch.
+func (ff *FlatForest) predictRange(m *sparse.CSR, lo, hi int, out []float64) {
+	s := ff.scratch.Get().(*flatScratch)
+	for i := lo; i < hi; i++ {
+		row := out[i*ff.numClass : (i+1)*ff.numClass]
+		copy(row, ff.initScore)
+		feat, val := m.Row(i)
+		s.scatter(feat, val, ff.scratchDim)
+		ff.predictScattered(s, row)
+		s.clear()
+	}
+	ff.scratch.Put(s)
+}
+
+// Validate checks structural invariants of the compiled forest; it is used
+// by tests and by model-loading paths that compile untrusted input.
+func (ff *FlatForest) Validate() error {
+	n := int32(len(ff.feature))
+	for i := int32(0); i < n; i++ {
+		if ff.feature[i] < 0 {
+			if off := ff.left[i]; off < 0 || int(off)+ff.numClass > len(ff.weights) {
+				return fmt.Errorf("tree: flat leaf %d weight offset %d out of range", i, off)
+			}
+			continue
+		}
+		if ff.left[i] <= i || ff.left[i] >= n || ff.right[i] <= i || ff.right[i] >= n {
+			return fmt.Errorf("tree: flat node %d has child links (%d,%d) outside (%d,%d)",
+				i, ff.left[i], ff.right[i], i, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"vero/internal/sparse"
+)
+
+// randomForest grows a random but structurally valid forest for
+// equivalence testing: random splits over d features, random leaf weights,
+// random default directions.
+func randomForest(t testing.TB, rng *rand.Rand, trees, layers, d, numClass int) *Forest {
+	t.Helper()
+	f := NewForest(numClass, 0.3, make([]float64, numClass), "logistic", d)
+	for i := 0; i < trees; i++ {
+		tr := New(numClass)
+		frontier := []int32{0}
+		for l := 0; l < layers; l++ {
+			var next []int32
+			for _, id := range frontier {
+				if rng.Float64() < 0.2 { // leave some leaves shallow
+					continue
+				}
+				left, right := tr.Split(id, int32(rng.Intn(d)), float32(rng.NormFloat64()),
+					uint16(rng.Intn(20)), rng.Intn(2) == 0, rng.Float64())
+				next = append(next, left, right)
+			}
+			frontier = next
+		}
+		for id := range tr.Nodes {
+			if tr.Nodes[id].IsLeaf() {
+				w := make([]float64, numClass)
+				for k := range w {
+					w[k] = rng.NormFloat64()
+				}
+				tr.SetLeaf(int32(id), w)
+			}
+		}
+		f.Append(tr)
+	}
+	return f
+}
+
+// randomCSR builds a random sparse matrix with the given density.
+func randomCSR(t testing.TB, rng *rand.Rand, rows, cols int, density float64) *sparse.CSR {
+	t.Helper()
+	b := sparse.NewCSRBuilder(cols)
+	for i := 0; i < rows; i++ {
+		var kvs []sparse.KV
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				kvs = append(kvs, sparse.KV{Index: uint32(j), Value: float32(rng.NormFloat64())})
+			}
+		}
+		if err := b.AddRow(kvs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestFlatMatchesPointerWalk(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		numClass int
+		density  float64
+	}{
+		{"binary_dense", 1, 0.9},
+		{"binary_sparse", 1, 0.1},
+		{"multiclass", 4, 0.3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			f := randomForest(t, rng, 12, 6, 50, tc.numClass)
+			m := randomCSR(t, rng, 200, 50, tc.density)
+			ff := Compile(f)
+			if err := ff.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			want := f.PredictCSR(m)
+			for _, workers := range []int{1, 4} {
+				got := ff.PredictCSR(m, workers)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: got %d scores, want %d", workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: score[%d] = %v, want %v (bit-exact)", workers, i, got[i], want[i])
+					}
+				}
+			}
+			// Single-row path.
+			for i := 0; i < m.Rows(); i += 17 {
+				feat, val := m.Row(i)
+				got := ff.PredictRow(feat, val)
+				for k := range got {
+					if got[k] != want[i*tc.numClass+k] {
+						t.Fatalf("row %d class %d: %v != %v", i, k, got[k], want[i*tc.numClass+k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFlatMissingValuesFollowDefault(t *testing.T) {
+	f := NewForest(1, 1, []float64{0}, "square", 3)
+	tr := New(1)
+	l, r := tr.Split(0, 2, 0.5, 0, true, 1) // route on feature 2, missing goes left
+	tr.SetLeaf(l, []float64{-1})
+	tr.SetLeaf(r, []float64{+1})
+	f.Append(tr)
+	ff := Compile(f)
+
+	// Feature 2 absent: default left.
+	if got := ff.PredictRow([]uint32{0, 1}, []float32{9, 9})[0]; got != -1 {
+		t.Fatalf("missing value routed to %v, want -1", got)
+	}
+	// Present below threshold: left. Present above: right.
+	if got := ff.PredictRow([]uint32{2}, []float32{0.4})[0]; got != -1 {
+		t.Fatalf("0.4 routed to %v, want -1", got)
+	}
+	if got := ff.PredictRow([]uint32{2}, []float32{0.6})[0]; got != 1 {
+		t.Fatalf("0.6 routed to %v, want +1", got)
+	}
+}
+
+func TestFlatRootOnlyForestAndEmptyMatrix(t *testing.T) {
+	f := NewForest(2, 0.1, []float64{0.5, -0.5}, "softmax", 4)
+	tr := New(2)
+	tr.SetLeaf(0, []float64{1, 2})
+	f.Append(tr)
+	ff := Compile(f)
+	got := ff.PredictRow(nil, nil)
+	want := []float64{0.5 + 0.1*1, -0.5 + 0.1*2}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("root-only: got %v, want %v", got, want)
+		}
+	}
+
+	empty := sparse.NewCSRBuilder(4).Build()
+	if out := ff.PredictCSR(empty, 4); len(out) != 0 {
+		t.Fatalf("empty matrix produced %d scores", len(out))
+	}
+}
+
+func TestFlatScratchDimSkipsUnroutedFeatures(t *testing.T) {
+	// Splits only touch feature 0; rows carrying huge feature ids must not
+	// panic or perturb routing.
+	f := NewForest(1, 1, []float64{0}, "square", 1_000_000)
+	tr := New(1)
+	l, r := tr.Split(0, 0, 0, 0, false, 1)
+	tr.SetLeaf(l, []float64{-1})
+	tr.SetLeaf(r, []float64{+1})
+	f.Append(tr)
+	ff := Compile(f)
+	if got := ff.PredictRow([]uint32{0, 999_999}, []float32{-1, 42})[0]; got != -1 {
+		t.Fatalf("got %v, want -1", got)
+	}
+}
+
+func BenchmarkFlatCompile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := randomForest(b, rng, 100, 8, 200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compile(f)
+	}
+}

@@ -159,7 +159,9 @@ func (t *Tree) Predict(feat []uint32, val []float32, eta float64, out []float64)
 	leaf := t.PredictLeaf(feat, val)
 	w := t.Nodes[leaf].Weights
 	for k := range w {
-		out[k] += eta * w[k]
+		// The explicit conversion forbids fusing into an FMA (arm64),
+		// keeping this walk bit-exact with FlatForest's pre-scaled weights.
+		out[k] += float64(eta * w[k])
 	}
 }
 
@@ -238,7 +240,9 @@ func (f *Forest) PredictCSR(m *sparse.CSR) []float64 {
 // Encode serializes the forest to JSON.
 func (f *Forest) Encode() ([]byte, error) { return json.Marshal(f) }
 
-// DecodeForest parses a forest serialized with Encode.
+// DecodeForest parses a forest serialized with Encode and validates its
+// structure, so downstream prediction (pointer walk or compiled flat
+// engine) never routes through corrupt node links.
 func DecodeForest(data []byte) (*Forest, error) {
 	var f Forest
 	if err := json.Unmarshal(data, &f); err != nil {
@@ -247,5 +251,35 @@ func DecodeForest(data []byte) (*Forest, error) {
 	if f.NumClass <= 0 {
 		return nil, fmt.Errorf("tree: decoded forest has num_class %d", f.NumClass)
 	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
 	return &f, nil
+}
+
+// Validate checks the structural invariants prediction relies on: every
+// tree is non-empty, interior child links point forward and in range, and
+// every leaf carries NumClass weights.
+func (f *Forest) Validate() error {
+	for ti, t := range f.Trees {
+		n := int32(len(t.Nodes))
+		if n == 0 {
+			return fmt.Errorf("tree: forest tree %d has no nodes", ti)
+		}
+		for i := int32(0); i < n; i++ {
+			nd := &t.Nodes[i]
+			if nd.IsLeaf() {
+				if len(nd.Weights) != f.NumClass {
+					return fmt.Errorf("tree: forest tree %d leaf %d has %d weights, want %d",
+						ti, i, len(nd.Weights), f.NumClass)
+				}
+				continue
+			}
+			if nd.Left <= i || nd.Left >= n || nd.Right <= i || nd.Right >= n {
+				return fmt.Errorf("tree: forest tree %d node %d has child links (%d,%d) outside (%d,%d)",
+					ti, i, nd.Left, nd.Right, i, n)
+			}
+		}
+	}
+	return nil
 }
