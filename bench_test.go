@@ -19,7 +19,10 @@ import (
 	"time"
 
 	"vero/gbdt"
+	"vero/internal/cluster"
+	"vero/internal/core"
 	"vero/internal/costmodel"
+	"vero/internal/datasets"
 	"vero/internal/experiments"
 	"vero/internal/partition"
 	"vero/internal/systems"
@@ -274,12 +277,77 @@ func BenchmarkAblations(b *testing.B) {
 	b.ReportMetric(comp.AblatedSec/comp.BaselineSec, "compression_speedup")
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// Training-throughput benchmarks: the histogram-construction trajectory.
+// One benchmark per quadrant, binary (C==1 gradient) and multiclass, so
+// histogram-kernel changes are pinned against a consistent workload. The
+// rows/s metric is nominal instance-layer scans (N x Trees x (Layers-1))
+// divided by histogram-phase computation seconds — see docs/PERFORMANCE.md
+// for how to read it (histogram subtraction makes the numerator an upper
+// bound on actual scans, uniformly across quadrants).
+
+const (
+	trainHistTrees  = 4
+	trainHistLayers = 6
+)
+
+var trainHistOnce struct {
+	sync.Once
+	binary, multi *datasets.Dataset
+	err           error
 }
+
+func trainHistData(b *testing.B) (binary, multi *datasets.Dataset) {
+	b.Helper()
+	s := &trainHistOnce
+	s.Do(func() {
+		s.binary, s.err = datasets.Synthetic(datasets.SyntheticConfig{
+			N: 8000, D: 60, C: 2,
+			InformativeRatio: 0.3, Density: 0.3, LabelNoise: 0.05, Seed: 17,
+		})
+		if s.err != nil {
+			return
+		}
+		s.multi, s.err = datasets.Synthetic(datasets.SyntheticConfig{
+			N: 8000, D: 60, C: 5,
+			InformativeRatio: 0.3, Density: 0.3, LabelNoise: 0.05, Seed: 17,
+		})
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.binary, s.multi
+}
+
+func benchTrainHist(b *testing.B, q core.Quadrant) {
+	binary, multi := trainHistData(b)
+	for _, tc := range []struct {
+		name string
+		ds   *datasets.Dataset
+	}{{"binary", binary}, {"multiclass", multi}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var histSec float64
+			for i := 0; i < b.N; i++ {
+				cl := cluster.New(4, cluster.Gigabit())
+				_, err := core.Train(cl, tc.ds, core.Config{
+					Quadrant: q, Trees: trainHistTrees, Layers: trainHistLayers, Splits: 20,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				histSec += cl.Stats().Phase("train.histogram").CompSeconds
+			}
+			rows := float64(b.N) * float64(tc.ds.NumInstances()) * trainHistTrees * (trainHistLayers - 1)
+			b.ReportMetric(rows/histSec, "rows/s")
+			b.ReportMetric(histSec/float64(b.N)*1e3, "hist_ms/op")
+		})
+	}
+}
+
+func BenchmarkTrainHistQD1(b *testing.B) { benchTrainHist(b, core.QD1) }
+func BenchmarkTrainHistQD2(b *testing.B) { benchTrainHist(b, core.QD2) }
+func BenchmarkTrainHistQD3(b *testing.B) { benchTrainHist(b, core.QD3) }
+func BenchmarkTrainHistQD4(b *testing.B) { benchTrainHist(b, core.QD4) }
 
 // Inference benchmarks: the serving-side comparison between the training
 // forest's pointer walk and the flattened SoA engine (gbdt.Predictor).

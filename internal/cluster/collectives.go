@@ -32,6 +32,18 @@ func (c *Cluster) AllReduceSum(phase string, locals [][]float64) []float64 {
 	return sum
 }
 
+// AllReduceSumInto is AllReduceSum reducing into a caller-owned dst (same
+// length as the locals, overwritten; must not alias any local) — for
+// callers that recycle result buffers instead of taking a fresh
+// allocation per reduction.
+func (c *Cluster) AllReduceSumInto(phase string, locals [][]float64, dst []float64) {
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
+	sumAlignedInto(locals, dst)
+	c.ChargeAllReduce(phase, int64(len(dst))*float64Size)
+}
+
 // ChargeAllReduce records the cost of ring all-reducing a payload of n
 // bytes per worker without moving data (for callers that reduce in place).
 func (c *Cluster) ChargeAllReduce(phase string, n int64) {
@@ -59,6 +71,16 @@ func (c *Cluster) ReduceScatterSum(phase string, locals [][]float64) (sum []floa
 		shard[w] = [2]int{lo, hi}
 	}
 	return sum, shard
+}
+
+// ReduceScatterSumInto is ReduceScatterSum reducing into a caller-owned
+// dst (overwritten), for callers that do not need the shard ranges.
+func (c *Cluster) ReduceScatterSumInto(phase string, locals [][]float64, dst []float64) {
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
+	sumAlignedInto(locals, dst)
+	c.ChargeReduceScatter(phase, int64(len(dst))*float64Size)
 }
 
 // ChargeReduceScatter records the cost of ring reduce-scattering n bytes
@@ -94,6 +116,19 @@ func (c *Cluster) ShardedGatherSum(phase string, locals [][]float64, shards int)
 	sum := sumAligned(locals)
 	c.ChargeShardedGather(phase, int64(len(sum))*float64Size, shards)
 	return sum
+}
+
+// ShardedGatherSumInto is ShardedGatherSum reducing into a caller-owned
+// dst (overwritten).
+func (c *Cluster) ShardedGatherSumInto(phase string, locals [][]float64, dst []float64, shards int) {
+	if shards <= 0 {
+		panic(fmt.Sprintf("cluster: shard count %d", shards))
+	}
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
+	sumAlignedInto(locals, dst)
+	c.ChargeShardedGather(phase, int64(len(dst))*float64Size, shards)
 }
 
 // ChargeShardedGather records the cost of a sharded gather of n bytes per
@@ -161,19 +196,32 @@ func (c *Cluster) ChargeComm(phase string, kind OpKind, bytes int64, seconds flo
 
 // sumAligned element-wise sums arrays that must all share one length.
 func sumAligned(locals [][]float64) []float64 {
-	n := len(locals[0])
+	sum := make([]float64, len(locals[0]))
+	sumAlignedInto(locals, sum)
+	return sum
+}
+
+// sumAlignedInto element-wise sums the arrays into dst, overwriting it.
+// All arrays and dst must share one length, and the reduction adds workers
+// in index order — the deterministic order every collective exposes. dst
+// must not alias any local: it is cleared before the sum, so an aliased
+// worker's contribution would silently vanish.
+func sumAlignedInto(locals [][]float64, dst []float64) {
+	n := len(dst)
 	for w, l := range locals {
 		if len(l) != n {
-			panic(fmt.Sprintf("cluster: worker %d array has %d entries, worker 0 has %d", w, len(l), n))
+			panic(fmt.Sprintf("cluster: worker %d array has %d entries, dst has %d", w, len(l), n))
+		}
+		if n > 0 && &l[0] == &dst[0] {
+			panic(fmt.Sprintf("cluster: dst aliases worker %d's array", w))
 		}
 	}
-	sum := make([]float64, n)
+	clear(dst)
 	for _, l := range locals {
 		for i, v := range l {
-			sum[i] += v
+			dst[i] += v
 		}
 	}
-	return sum
 }
 
 func ceilLog2(x int) int {

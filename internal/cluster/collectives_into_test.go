@@ -1,0 +1,47 @@
+package cluster
+
+import "testing"
+
+// TestSumIntoMatchesAllocatingCollectives pins the Into variants to their
+// allocating counterparts: identical sums (same worker-order reduction)
+// and identical communication charges.
+func TestSumIntoMatchesAllocatingCollectives(t *testing.T) {
+	locals := [][]float64{
+		{1, 2, 3},
+		{0.5, -1, 4},
+		{1e-9, 100, -7},
+	}
+	type variant struct {
+		name string
+		get  func(c *Cluster) []float64
+		into func(c *Cluster, dst []float64)
+	}
+	variants := []variant{
+		{"all-reduce",
+			func(c *Cluster) []float64 { return c.AllReduceSum("p", locals) },
+			func(c *Cluster, dst []float64) { c.AllReduceSumInto("p", locals, dst) }},
+		{"reduce-scatter",
+			func(c *Cluster) []float64 { s, _ := c.ReduceScatterSum("p", locals); return s },
+			func(c *Cluster, dst []float64) { c.ReduceScatterSumInto("p", locals, dst) }},
+		{"sharded-gather",
+			func(c *Cluster) []float64 { return c.ShardedGatherSum("p", locals, 3) },
+			func(c *Cluster, dst []float64) { c.ShardedGatherSumInto("p", locals, dst, 3) }},
+	}
+	for _, v := range variants {
+		ca := New(3, Gigabit())
+		want := v.get(ca)
+		cb := New(3, Gigabit())
+		dst := []float64{9, 9, 9} // must be overwritten, not accumulated
+		v.into(cb, dst)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Errorf("%s: dst[%d] = %v, want %v", v.name, i, dst[i], want[i])
+			}
+		}
+		pa, pb := ca.Stats().Phase("p"), cb.Stats().Phase("p")
+		if pa.TotalBytes() != pb.TotalBytes() || pa.CommSeconds != pb.CommSeconds {
+			t.Errorf("%s: charge mismatch: %d bytes/%vs vs %d bytes/%vs",
+				v.name, pa.TotalBytes(), pa.CommSeconds, pb.TotalBytes(), pb.CommSeconds)
+		}
+	}
+}

@@ -194,7 +194,19 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	t := &trainer{
+	t := newTrainer(cl, ds, cfg, obj)
+	if t.n == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if err := t.prepare(); err != nil {
+		return nil, err
+	}
+	return t.run()
+}
+
+// newTrainer assembles an unprepared trainer over the cluster and dataset.
+func newTrainer(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config, obj loss.Objective) *trainer {
+	return &trainer{
 		cl:  cl,
 		cfg: cfg,
 		ds:  ds,
@@ -208,14 +220,8 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 			Gamma:        cfg.Gamma,
 			MinChildHess: cfg.MinChildHess,
 		},
+		pool: histogram.NewPool(),
 	}
-	if t.n == 0 {
-		return nil, fmt.Errorf("core: empty dataset")
-	}
-	if err := t.prepare(); err != nil {
-		return nil, err
-	}
-	return t.run()
 }
 
 // objective resolves the loss from config and dataset: square for

@@ -19,10 +19,19 @@ func (t *trainer) horizontalRootTotals() ([]float64, []float64) {
 	t.cl.Parallel(phaseGrad, func(w int) {
 		acc := make([]float64, 2*t.c)
 		lo, hi := t.ranges[w][0], t.ranges[w][1]
-		for i := lo; i < hi; i++ {
-			for k := 0; k < t.c; k++ {
-				acc[k] += t.grads[i*t.c+k]
-				acc[t.c+k] += t.hessv[i*t.c+k]
+		if t.c == 1 {
+			var g, h float64
+			for i := lo; i < hi; i++ {
+				g += t.grads[i]
+				h += t.hessv[i]
+			}
+			acc[0], acc[1] = g, h
+		} else {
+			for i := lo; i < hi; i++ {
+				for k := 0; k < t.c; k++ {
+					acc[k] += t.grads[i*t.c+k]
+					acc[t.c+k] += t.hessv[i*t.c+k]
+				}
 			}
 		}
 		locals[w] = acc
@@ -36,41 +45,50 @@ func (t *trainer) horizontalRootTotals() ([]float64, []float64) {
 func (t *trainer) horizontalBuildHistograms(toBuild []*nodeInfo) {
 	if t.cfg.Quadrant == QD2 {
 		// Row-store: per node, scan the node's instances (node-to-instance
-		// index) and aggregate immediately, keeping one transient local
-		// histogram per worker at a time.
+		// index) through the fused row-scan kernel and aggregate
+		// immediately, keeping one transient local histogram per worker at
+		// a time (recycled through the arena).
 		for _, nd := range toBuild {
 			locals := make([]*histogram.Hist, t.w)
 			t.cl.Parallel(phaseHist, func(w int) {
-				h := histogram.New(t.layoutH)
+				h := t.pool.Get(t.layoutH)
 				shard := t.hRows[w]
-				base := t.ranges[w][0]
-				for _, inst := range t.hN2I[w].Instances(nd.id) {
-					feats, bins := shard.Row(int(inst))
-					gi := (base + int(inst)) * t.c
-					for k, f := range feats {
-						h.AddVec(int(f), int(bins[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
-					}
-				}
+				h.RowScan(t.hN2I[w].Instances(nd.id), 0, shard.RowPtr, shard.Feat, shard.Bin,
+					t.grads, t.hessv, t.ranges[w][0])
 				locals[w] = h
 			})
 			t.aggregate(nd.id, locals)
+			for _, h := range locals {
+				t.pool.Put(h)
+			}
 		}
 		return
 	}
 
 	// QD1 column-store: one pass over each worker's columns updates all
 	// build nodes at once, routing each (instance, bin) entry through the
-	// instance-to-node index. Workers fold their local histograms into
-	// shared accumulators right after their pass, so physical memory
-	// stays at two layers of histograms instead of W+1 (the logical
-	// per-worker copies are still charged to the memory gauge).
-	building := make(map[int32]int, len(toBuild)) // node id -> local slot
+	// instance-to-node index (the fused column-scan kernel reads the raw
+	// assignment array and a dense node-to-slot table). Workers fold their
+	// local histograms into shared accumulators right after their pass, so
+	// physical memory stays at two layers of histograms instead of W+1
+	// (the logical per-worker copies are still charged to the memory
+	// gauge).
+	maxID := int32(0)
+	for _, nd := range toBuild {
+		if nd.id > maxID {
+			maxID = nd.id
+		}
+	}
+	slot := make([]int32, maxID+1) // node id -> local slot, -1 = not building
+	for i := range slot {
+		slot[i] = -1
+	}
 	for i, nd := range toBuild {
-		building[nd.id] = i
+		slot[nd.id] = int32(i)
 	}
 	acc := make([]*histogram.Hist, len(toBuild))
 	for i := range acc {
-		acc[i] = histogram.New(t.layoutH)
+		acc[i] = t.pool.Get(t.layoutH)
 	}
 	// merged[w] closes once worker w has folded its partials in; worker
 	// w+1 waits for it, so the floating-point reduction order is the
@@ -80,29 +98,21 @@ func (t *trainer) horizontalBuildHistograms(toBuild []*nodeInfo) {
 		merged[w] = make(chan struct{})
 	}
 	t.cl.Parallel(phaseHist, func(w int) {
-		hs := make([]*histogram.Hist, len(toBuild))
-		for i := range hs {
-			hs[i] = histogram.New(t.layoutH)
-		}
+		stride := t.layoutH.FloatsPerSide()
+		ag, ah := t.flatScratch(w, stride*len(toBuild))
 		cols := t.hCols[w]
-		i2n := t.hI2N[w]
+		nodeOf := t.hI2N[w].Assignments()
 		base := t.ranges[w][0]
 		for j := 0; j < cols.Cols(); j++ {
 			insts, bins := cols.Col(j)
-			for k, inst := range insts {
-				slot, ok := building[i2n.Node(inst)]
-				if !ok {
-					continue
-				}
-				gi := (base + int(inst)) * t.c
-				hs[slot].AddVec(j, int(bins[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
-			}
+			histogram.ColumnScanRouted(ag, ah, stride, t.layoutH, j, insts, bins, nodeOf, slot, t.grads, t.hessv, base)
 		}
 		if w > 0 {
 			<-merged[w-1]
 		}
-		for i := range hs {
-			acc[i].Merge(hs[i])
+		for i := range acc {
+			acc[i].Merge(&histogram.Hist{Layout: t.layoutH,
+				Grad: ag[i*stride : (i+1)*stride], Hess: ah[i*stride : (i+1)*stride]})
 		}
 		close(merged[w])
 	})
@@ -138,19 +148,22 @@ func (t *trainer) aggregate(node int32, locals []*histogram.Hist) {
 		gl[w] = h.Grad
 		hl[w] = h.Hess
 	}
-	var g, h []float64
+	// Reduce straight into a pooled histogram: every histogram the trainer
+	// releases was drawn from the pool (keeping the free list bounded by
+	// the live set), and the steady state allocates nothing per node.
+	agg := t.pool.Get(t.layoutH)
 	switch t.cfg.Aggregation {
 	case AggReduceScatter:
-		g, _ = t.cl.ReduceScatterSum(phaseHist, gl)
-		h, _ = t.cl.ReduceScatterSum(phaseHist, hl)
+		t.cl.ReduceScatterSumInto(phaseHist, gl, agg.Grad)
+		t.cl.ReduceScatterSumInto(phaseHist, hl, agg.Hess)
 	case AggParameterServer:
-		g = t.cl.ShardedGatherSum(phaseHist, gl, t.w)
-		h = t.cl.ShardedGatherSum(phaseHist, hl, t.w)
+		t.cl.ShardedGatherSumInto(phaseHist, gl, agg.Grad, t.w)
+		t.cl.ShardedGatherSumInto(phaseHist, hl, agg.Hess, t.w)
 	default: // AggAllReduce
-		g = t.cl.AllReduceSum(phaseHist, gl)
-		h = t.cl.AllReduceSum(phaseHist, hl)
+		t.cl.AllReduceSumInto(phaseHist, gl, agg.Grad)
+		t.cl.AllReduceSumInto(phaseHist, hl, agg.Hess)
 	}
-	t.aggHist[node] = &histogram.Hist{Layout: t.layoutH, Grad: g, Hess: h}
+	t.aggHist[node] = agg
 	mem := t.cl.Stats().Mem("histogram")
 	for w := 0; w < t.w; w++ {
 		mem.Add(w, t.layoutH.SizeBytes())
@@ -260,7 +273,19 @@ func (t *trainer) horizontalChildStats(nodes []*nodeInfo) {
 			base := t.ranges[w][0]
 			for _, nd := range nodes {
 				o := slot[nd.id] * stride
-				for _, inst := range t.hN2I[w].Instances(nd.id) {
+				insts := t.hN2I[w].Instances(nd.id)
+				if t.c == 1 {
+					var g, h float64
+					for _, inst := range insts {
+						g += t.grads[base+int(inst)]
+						h += t.hessv[base+int(inst)]
+					}
+					acc[o] += g
+					acc[o+1] += h
+					acc[o+2] += float64(len(insts))
+					continue
+				}
+				for _, inst := range insts {
 					gi := (base + int(inst)) * t.c
 					for k := 0; k < t.c; k++ {
 						acc[o+k] += t.grads[gi+k]
@@ -276,6 +301,20 @@ func (t *trainer) horizontalChildStats(nodes []*nodeInfo) {
 			acc := make([]float64, stride*len(nodes))
 			i2n := t.hI2N[w]
 			base := t.ranges[w][0]
+			if t.c == 1 {
+				for inst, nid := range i2n.Assignments() {
+					i, ok := slot[nid]
+					if !ok {
+						continue
+					}
+					o := i * stride
+					acc[o] += t.grads[base+inst]
+					acc[o+1] += t.hessv[base+inst]
+					acc[o+2]++
+				}
+				locals[w] = acc
+				return
+			}
 			for inst := 0; inst < i2n.Len(); inst++ {
 				i, ok := slot[i2n.Node(uint32(inst))]
 				if !ok {
@@ -370,11 +409,4 @@ func searchColumn(insts []uint32, bins []uint16, inst uint32) (uint16, bool) {
 		return bins[lo], true
 	}
 	return 0, false
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

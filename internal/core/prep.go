@@ -15,6 +15,8 @@ import (
 // shard according to the quadrant, charging the preparation communication.
 func (t *trainer) prepare() error {
 	t.ranges = partition.HorizontalRanges(t.n, t.w)
+	t.flatG = make([][]float64, t.w)
+	t.flatH = make([][]float64, t.w)
 
 	if t.cfg.Quadrant == QD4 && !t.cfg.FullCopy {
 		return t.prepareVero()

@@ -53,6 +53,13 @@ type trainer struct {
 
 	n, d, c, w int
 	finder     histogram.Finder
+	// pool recycles histogram buffers across nodes, layers and trees; all
+	// histogram allocation in the training loop goes through it.
+	pool *histogram.Pool
+	// flatG/flatH are per-worker arena scratch for the routed column-scan
+	// kernel: one flat buffer pair holds every histogram a worker builds in
+	// a layer, reused (and re-zeroed) layer after layer.
+	flatG, flatH [][]float64
 
 	binner        *sparse.Binner
 	numBinsGlobal []int
@@ -87,8 +94,10 @@ type trainer struct {
 	transformBytes partition.ByteReport
 }
 
-func (t *trainer) run() (*Result, error) {
-	initScore := t.obj.InitScore(t.ds.Labels)
+// allocRunState allocates the per-run prediction and gradient buffers
+// (plus the vertical quadrants' redundant-compute scratch), seeding every
+// instance's predictions with initScore.
+func (t *trainer) allocRunState(initScore []float64) {
 	t.preds = make([]float64, t.n*t.c)
 	for i := 0; i < t.n; i++ {
 		copy(t.preds[i*t.c:(i+1)*t.c], initScore)
@@ -101,6 +110,11 @@ func (t *trainer) run() (*Result, error) {
 			t.scratch[w] = make([]float64, t.n*t.c)
 		}
 	}
+}
+
+func (t *trainer) run() (*Result, error) {
+	initScore := t.obj.InitScore(t.ds.Labels)
+	t.allocRunState(initScore)
 	forest := tree.NewForest(t.c, t.cfg.LearningRate, initScore, t.obj.Name(), t.d)
 
 	prepComp, prepComm, _ := t.cl.Stats().Totals()
@@ -121,6 +135,10 @@ func (t *trainer) run() (*Result, error) {
 			break
 		}
 	}
+	// Release the final tree's remaining histograms (the last layer's
+	// split parents, kept for subtraction, are otherwise only cleared
+	// lazily at the next tree's start) so the memory gauge balances.
+	t.clearHists()
 	comp, comm, _ := t.cl.Stats().Totals()
 	res.CompSeconds = comp
 	res.CommSeconds = comm
@@ -261,17 +279,19 @@ func (t *trainer) clearHists() {
 	g := t.cl.Stats().Mem("histogram")
 	if t.cfg.Quadrant.Vertical() {
 		for w := range t.vHist {
-			for id := range t.vHist[w] {
+			for id, h := range t.vHist[w] {
 				g.Add(w, -t.vLayout[w].SizeBytes())
+				t.pool.Put(h)
 				delete(t.vHist[w], id)
 			}
 		}
 		return
 	}
-	for id := range t.aggHist {
+	for id, h := range t.aggHist {
 		for w := 0; w < t.w; w++ {
 			g.Add(w, -t.layoutH.SizeBytes())
 		}
+		t.pool.Put(h)
 		delete(t.aggHist, id)
 	}
 }
@@ -280,17 +300,19 @@ func (t *trainer) dropHist(id int32) {
 	g := t.cl.Stats().Mem("histogram")
 	if t.cfg.Quadrant.Vertical() {
 		for w := range t.vHist {
-			if _, ok := t.vHist[w][id]; ok {
+			if h, ok := t.vHist[w][id]; ok {
 				g.Add(w, -t.vLayout[w].SizeBytes())
+				t.pool.Put(h)
 				delete(t.vHist[w], id)
 			}
 		}
 		return
 	}
-	if _, ok := t.aggHist[id]; ok {
+	if h, ok := t.aggHist[id]; ok {
 		for w := 0; w < t.w; w++ {
 			g.Add(w, -t.layoutH.SizeBytes())
 		}
+		t.pool.Put(h)
 		delete(t.aggHist, id)
 	}
 }
@@ -326,6 +348,22 @@ func (t *trainer) deriveHistograms(toDerive []*nodeInfo) {
 			delete(t.aggHist, nd.parent)
 		}
 	})
+}
+
+// flatScratch returns worker w's zeroed arena scratch of n floats per
+// side, growing the buffers when a layer needs more histogram slots than
+// any before it.
+func (t *trainer) flatScratch(w, n int) (g, h []float64) {
+	if cap(t.flatG[w]) < n {
+		t.flatG[w] = make([]float64, n)
+		t.flatH[w] = make([]float64, n)
+	} else {
+		t.flatG[w] = t.flatG[w][:n]
+		t.flatH[w] = t.flatH[w][:n]
+		clear(t.flatG[w])
+		clear(t.flatH[w])
+	}
+	return t.flatG[w], t.flatH[w]
 }
 
 // siblingOf returns the sibling's node id: children are always created in

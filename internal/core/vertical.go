@@ -21,10 +21,19 @@ func (t *trainer) verticalRootTotals() ([]float64, []float64) {
 		// worker 0's result is adopted.
 		lg := make([]float64, t.c)
 		lh := make([]float64, t.c)
-		for i := 0; i < t.n; i++ {
-			for k := 0; k < t.c; k++ {
-				lg[k] += t.grads[i*t.c+k]
-				lh[k] += t.hessv[i*t.c+k]
+		if t.c == 1 {
+			var sg, sh float64
+			for i := 0; i < t.n; i++ {
+				sg += t.grads[i]
+				sh += t.hessv[i]
+			}
+			lg[0], lh[0] = sg, sh
+		} else {
+			for i := 0; i < t.n; i++ {
+				for k := 0; k < t.c; k++ {
+					lg[k] += t.grads[i*t.c+k]
+					lh[k] += t.hessv[i*t.c+k]
+				}
 			}
 		}
 		if w == 0 {
@@ -47,50 +56,63 @@ func (t *trainer) rowBins(w int, inst uint32) (feat []uint32, bin []uint16) {
 func (t *trainer) verticalBuildHistograms(toBuild []*nodeInfo) {
 	mem := t.cl.Stats().Mem("histogram")
 	t.cl.Parallel(phaseHist, func(w int) {
-		for _, nd := range toBuild {
-			h := histogram.New(t.vLayout[w])
+		hs := make([]*histogram.Hist, len(toBuild))
+		for i := range hs {
+			hs[i] = t.pool.Get(t.vLayout[w])
 			mem.Add(w, t.vLayout[w].SizeBytes())
-			switch {
-			case t.cfg.Quadrant == QD4 && !t.cfg.FullCopy:
-				t.buildRowStore(w, nd, h)
-			case t.cfg.Quadrant == QD4: // feature-parallel full copy
-				t.buildFullCopy(w, nd, h)
-			case t.cfg.ColumnIndex == IndexColumnWise:
-				t.buildColumnWise(w, nd, h)
-			default:
-				t.buildHybrid(w, nd, h)
+		}
+		switch {
+		case t.cfg.Quadrant == QD4 && !t.cfg.FullCopy:
+			for i, nd := range toBuild {
+				t.buildRowStore(w, nd, hs[i])
 			}
-			t.vHist[w][nd.id] = h
+		case t.cfg.Quadrant == QD4: // feature-parallel full copy
+			for i, nd := range toBuild {
+				t.buildFullCopy(w, nd, hs[i])
+			}
+		case t.cfg.ColumnIndex == IndexColumnWise:
+			for i, nd := range toBuild {
+				t.buildColumnWise(w, nd, hs[i])
+			}
+		default:
+			for i, nd := range toBuild {
+				t.buildHybrid(w, nd, hs[i])
+			}
+		}
+		for i, nd := range toBuild {
+			t.vHist[w][nd.id] = hs[i]
 		}
 	})
 }
 
 // buildRowStore scans the node's instances through the blockified rows —
-// Vero's histogram construction (node-to-instance index + row-store).
+// Vero's histogram construction (node-to-instance index + row-store). The
+// node's instance list is ascending (the node-to-instance index partitions
+// stably from an ascending initial order) and the shard's blocks cover
+// contiguous ascending row ranges, so the scan runs the fused row-scan
+// kernel once per block segment instead of resolving every row through a
+// per-instance block lookup.
 func (t *trainer) buildRowStore(w int, nd *nodeInfo, h *histogram.Hist) {
-	data := t.shards[w].Data
-	for _, inst := range t.vN2I[w].Instances(nd.id) {
-		feats, binsArr := data.Row(int(inst))
-		gi := int(inst) * t.c
-		for k, slot := range feats {
-			h.AddVec(int(slot), int(binsArr[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+	insts := t.vN2I[w].Instances(nd.id)
+	k := 0
+	for _, b := range t.shards[w].Data.Blocks {
+		if k == len(insts) {
+			break
 		}
+		end := b.RowStart + b.NumRows()
+		start := k
+		for k < len(insts) && int(insts[k]) < end {
+			k++
+		}
+		h.RowScan(insts[start:k], b.RowStart, b.RowPtr, b.Feat, b.Bin, t.grads, t.hessv, 0)
 	}
 }
 
 // buildFullCopy scans full rows but accumulates only the worker's assigned
 // features — LightGBM feature-parallel (Appendix D).
 func (t *trainer) buildFullCopy(w int, nd *nodeInfo, h *histogram.Hist) {
-	for _, inst := range t.vN2I[w].Instances(nd.id) {
-		feats, binsArr := t.fullRows.Row(int(inst))
-		gi := int(inst) * t.c
-		for k, f := range feats {
-			if t.ownerOf[f] != int32(w) {
-				continue
-			}
-			h.AddVec(int(t.slotOf[f]), int(binsArr[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
-		}
-	}
+	h.RowScanOwned(t.vN2I[w].Instances(nd.id), t.fullRows.RowPtr, t.fullRows.Feat, t.fullRows.Bin,
+		t.ownerOf, t.slotOf, int32(w), t.grads, t.hessv)
 }
 
 // buildColumnWise reads each column's node entries directly from the
@@ -100,20 +122,21 @@ func (t *trainer) buildColumnWise(w int, nd *nodeInfo, h *histogram.Hist) {
 	cw := t.vCW[w]
 	for j := 0; j < cols.Cols(); j++ {
 		insts, binsArr := cols.Col(j)
-		for _, pos := range cw.Entries(j, nd.id) {
-			inst := insts[pos]
-			gi := int(inst) * t.c
-			h.AddVec(j, int(binsArr[pos]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
-		}
+		h.ColumnGather(j, cw.Entries(j, nd.id), insts, binsArr, t.grads, t.hessv)
 	}
 }
 
 // buildHybrid is the paper's optimized QD3 plan (Section 5.2.2): columns
 // with few values are scanned linearly against the instance-to-node index;
 // long columns are probed by binary search from the node's instance list.
+// Both arms run fused kernels, but the scan stays per-node: the linear arm
+// is bound by the per-entry instance-to-node probe (Section 3.2.3's
+// column-store index cost), which a multi-node routed pass only makes
+// heavier — measured, routing every entry through a node-to-slot table
+// costs more than the filter scans it replaces.
 func (t *trainer) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
 	cols := t.vCols[w]
-	i2n := t.vI2N[w]
+	nodeOf := t.vI2N[w].Assignments()
 	nodeInsts := t.vN2I[w].Instances(nd.id)
 	for j := 0; j < cols.Cols(); j++ {
 		insts, binsArr := cols.Col(j)
@@ -124,13 +147,7 @@ func (t *trainer) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
 		searchCost := len(nodeInsts) * (bits.Len(uint(colLen)) + 1)
 		if colLen <= searchCost {
 			// Linear scan, filtering by the instance-to-node index.
-			for k, inst := range insts {
-				if i2n.Node(inst) != nd.id {
-					continue
-				}
-				gi := int(inst) * t.c
-				h.AddVec(j, int(binsArr[k]), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
-			}
+			h.ColumnScanNode(j, insts, binsArr, nodeOf, nd.id, t.grads, t.hessv)
 			continue
 		}
 		for _, inst := range nodeInsts {
@@ -138,8 +155,7 @@ func (t *trainer) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
 			if !ok {
 				continue
 			}
-			gi := int(inst) * t.c
-			h.AddVec(j, int(bin), t.grads[gi:gi+t.c], t.hessv[gi:gi+t.c])
+			h.AddFlat(j, int(bin), t.grads, t.hessv, int(inst)*t.c)
 		}
 	}
 }
@@ -284,11 +300,20 @@ func (t *trainer) verticalChildStats(nodes []*nodeInfo) {
 		for i, nd := range nodes {
 			insts := t.vN2I[w].Instances(nd.id)
 			o := i * stride
-			for _, inst := range insts {
-				gi := int(inst) * t.c
-				for k := 0; k < t.c; k++ {
-					local[o+k] += t.grads[gi+k]
-					local[o+t.c+k] += t.hessv[gi+k]
+			if t.c == 1 {
+				var g, h float64
+				for _, inst := range insts {
+					g += t.grads[inst]
+					h += t.hessv[inst]
+				}
+				local[o], local[o+1] = g, h
+			} else {
+				for _, inst := range insts {
+					gi := int(inst) * t.c
+					for k := 0; k < t.c; k++ {
+						local[o+k] += t.grads[gi+k]
+						local[o+t.c+k] += t.hessv[gi+k]
+					}
 				}
 			}
 			if w == 0 {

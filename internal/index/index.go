@@ -116,6 +116,12 @@ func (idx *InstanceToNode) Reset() {
 // Node returns the tree node of instance i.
 func (idx *InstanceToNode) Node(i uint32) int32 { return idx.node[i] }
 
+// Assignments returns the raw instance-to-node array (entry i is the node
+// of instance i). The slice aliases internal storage and must be treated
+// as read-only; it is the flat view the histogram kernels scan instead of
+// calling Node per entry.
+func (idx *InstanceToNode) Assignments() []int32 { return idx.node }
+
 // Len returns the number of instances.
 func (idx *InstanceToNode) Len() int { return len(idx.node) }
 
