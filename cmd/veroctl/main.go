@@ -4,8 +4,10 @@
 // Usage:
 //
 //	veroctl train -data train.libsvm -classes 2 -system vero -model model.json
+//	veroctl train -data train.libsvm -classes 2 -quadrant auto -model model.json
 //	veroctl eval  -data valid.libsvm -classes 2 -model model.json
 //	veroctl predict -data test.libsvm -classes 2 -model model.json
+//	veroctl advise -n 1000000 -d 100000 -workers 8
 //	veroctl systems
 package main
 
@@ -111,7 +113,9 @@ func cmdTrain(args []string) error {
 	data := fs.String("data", "", "training data (LibSVM)")
 	classes := fs.Int("classes", 2, "1=regression, 2=binary, >2=multi-class")
 	system := fs.String("system", "vero", "GBDT system (see 'veroctl systems')")
+	quadrant := fs.String("quadrant", "", "data-management quadrant: qd1..qd4, or 'auto' to let the advisor choose (overrides -system)")
 	workers := fs.Int("workers", 8, "simulated workers")
+	concurrent := fs.Bool("concurrent", false, "run simulated workers on goroutines (needs ~workers idle cores for timing fidelity)")
 	trees := fs.Int("trees", 100, "number of trees (T)")
 	layers := fs.Int("layers", 8, "tree layers (L)")
 	splits := fs.Int("splits", 20, "candidate splits (q)")
@@ -124,14 +128,23 @@ func cmdTrain(args []string) error {
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
+	opts := gbdt.Options{
+		System: gbdt.System(*system), Workers: *workers, Concurrent: *concurrent,
+		Trees: *trees, Layers: *layers, Splits: *splits,
+		LearningRate: *eta, Lambda: *lambda, Gamma: *gamma,
+	}
+	policy := *system
+	if *quadrant != "" {
+		q, err := gbdt.ParseQuadrant(*quadrant)
+		if err != nil {
+			return err
+		}
+		opts.Quadrant = q
+		policy = q.String()
+	}
 	ds, err := gbdt.ReadLibSVMFile(*data, *classes)
 	if err != nil {
 		return err
-	}
-	opts := gbdt.Options{
-		System: gbdt.System(*system), Workers: *workers,
-		Trees: *trees, Layers: *layers, Splits: *splits,
-		LearningRate: *eta, Lambda: *lambda, Gamma: *gamma,
 	}
 	if *verbose {
 		opts.OnTree = func(i int, elapsed float64, _ *gbdt.Tree) {
@@ -149,7 +162,12 @@ func cmdTrain(args []string) error {
 	if err := os.WriteFile(*model, enc, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("trained %d trees on %d x %d (%s)\n", m.NumTrees(), ds.NumInstances(), ds.NumFeatures(), *system)
+	if sel := report.Selection; sel != nil {
+		policy = sel.Quadrant.String()
+		fmt.Printf("auto-selected %v -> system %q\n  why: %s\n",
+			sel.Quadrant, sel.Advice.System, sel.Advice.Rationale)
+	}
+	fmt.Printf("trained %d trees on %d x %d (%s)\n", m.NumTrees(), ds.NumInstances(), ds.NumFeatures(), policy)
 	fmt.Printf("simulated: comp %.3fs  comm %.3fs  prep %.3fs  comm volume %.1f MB\n",
 		report.CompSeconds, report.CommSeconds, report.PrepSeconds, float64(report.CommBytes)/(1<<20))
 	fmt.Printf("model written to %s\n", *model)

@@ -100,6 +100,30 @@ func ExampleDecodeModel() {
 	// predictions bit-exact: true
 }
 
+// ExampleTrain_autoQuadrant trains with automatic quadrant selection:
+// the advisor derives the workload from the dataset and network, picks a
+// quadrant, and the decision surfaces in the report.
+func ExampleTrain_autoQuadrant() {
+	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+		N: 600, D: 400, C: 2,
+		InformativeRatio: 0.4, Density: 0.3, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, report, err := gbdt.Train(ds, gbdt.Options{
+		Quadrant: gbdt.QuadrantAuto, Workers: 4, Trees: 2, Layers: 6, Splits: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected:", report.Selection.Quadrant)
+	fmt.Println("system:", report.Selection.Advice.System)
+	// Output:
+	// selected: QD4 (vertical+row)
+	// system: vero
+}
+
 // ExampleAdviseDataset asks the paper's cost model (Section 3.1) which
 // data-management quadrant suits a high-dimensional workload.
 func ExampleAdviseDataset() {

@@ -4,10 +4,7 @@ import (
 	"fmt"
 
 	"vero/internal/advisor"
-	"vero/internal/cluster"
-	"vero/internal/core"
 	"vero/internal/loss"
-	"vero/internal/systems"
 	"vero/internal/tree"
 )
 
@@ -60,15 +57,7 @@ func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (
 	if patience <= 0 {
 		return nil, nil, fmt.Errorf("gbdt: patience %d", patience)
 	}
-	if opts.Workers == 0 {
-		opts.Workers = 8
-	}
-	if opts.Network == (NetworkModel{}) {
-		opts.Network = Gigabit()
-	}
-	if opts.System == "" {
-		opts.System = SystemVero
-	}
+	opts = opts.withDefaults()
 	numClass := 1
 	if train.NumClass > 2 {
 		numClass = train.NumClass
@@ -87,18 +76,8 @@ func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (
 	sinceBest := 0
 	userOnTree := opts.OnTree
 
-	cl := cluster.New(opts.Workers, opts.Network)
-	base := core.Config{
-		Trees:        opts.Trees,
-		Layers:       opts.Layers,
-		Splits:       opts.Splits,
-		LearningRate: opts.LearningRate,
-		Lambda:       opts.Lambda,
-		Gamma:        opts.Gamma,
-		MinChildHess: opts.MinChildHess,
-		Objective:    opts.Objective,
-		Seed:         opts.Seed,
-	}
+	cl := newCluster(opts)
+	base := baseConfig(opts)
 	base.OnTree = func(i int, elapsed float64, tr *tree.Tree) {
 		for r := 0; r < valid.NumInstances(); r++ {
 			feat, val := valid.X.Row(r)
@@ -130,7 +109,7 @@ func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (
 	}
 	base.ShouldStop = func(int) bool { return sinceBest >= patience }
 
-	res, err := systems.Train(cl, train, opts.System, base)
+	res, err := runTrain(cl, train, opts, base)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -138,18 +117,7 @@ func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (
 	if bestIter >= 0 && bestIter+1 < len(res.Forest.Trees) {
 		res.Forest.Trees = res.Forest.Trees[:bestIter+1]
 	}
-	_, _, bytes := cl.Stats().Totals()
-	report := &Report{
-		PerTreeSeconds:     res.PerTreeSeconds,
-		CompSeconds:        res.CompSeconds,
-		CommSeconds:        res.CommSeconds,
-		PrepSeconds:        res.PrepSeconds,
-		CommBytes:          bytes,
-		HistogramPeakBytes: cl.Stats().Mem("histogram").MaxPeak(),
-		DataBytes:          cl.Stats().Mem("data").MaxPeak(),
-		TransformBytes:     res.TransformBytes,
-	}
-	return &Model{forest: res.Forest}, report, nil
+	return &Model{forest: res.Forest}, buildReport(cl, res), nil
 }
 
 // Advisor: the paper's future work (Section 6) — choose a data-management
@@ -165,26 +133,12 @@ type Advice = advisor.Recommendation
 // workload, using the paper's cost model and decision matrix (Table 1).
 func Advise(w AdvisorWorkload) (Advice, error) { return advisor.Recommend(w) }
 
-// AdviseDataset recommends a policy for a concrete dataset on a cluster of
-// the given size and network.
+// AdviseDataset recommends a policy for a concrete dataset on a cluster
+// of the given size and network. It shares its workload derivation with
+// the trainer's QuadrantAuto path (advisor.FromDataset), so for default
+// hyper-parameters advice and auto-selection agree; auto-selection
+// additionally folds the configured layers, splits and objective into
+// the workload it scores.
 func AdviseDataset(ds *Dataset, workers int, net NetworkModel) (Advice, error) {
-	c := int64(1)
-	if ds.NumClass > 2 {
-		c = int64(ds.NumClass)
-	}
-	return advisor.Recommend(advisor.Workload{
-		N:         int64(ds.NumInstances()),
-		D:         int64(ds.NumFeatures()),
-		C:         c,
-		W:         int64(workers),
-		NNZPerRow: float64(ds.X.NNZ()) / float64(max(1, ds.NumInstances())),
-		Net:       net,
-	})
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return advisor.Recommend(advisor.FromDataset(ds, workers, net))
 }

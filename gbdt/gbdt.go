@@ -94,6 +94,33 @@ func Systems() []System { return systems.All() }
 // DescribeSystem summarizes a system's data-management policy.
 func DescribeSystem(s System) string { return systems.Describe(s) }
 
+// Quadrant selects a data-management quadrant of the paper's Figure 1
+// directly, instead of going through a named system.
+type Quadrant = core.Quadrant
+
+// The four quadrants, plus automatic selection.
+const (
+	// QD1..QD4 train with the quadrant's reference system policy
+	// (XGBoost, LightGBM, optimized QD3, Vero respectively).
+	QD1 = core.QD1
+	QD2 = core.QD2
+	QD3 = core.QD3
+	QD4 = core.QD4
+	// QuadrantAuto lets the advisor choose the quadrant from the
+	// dataset's shape, sparsity and the cluster's network model; the
+	// decision and its rationale land in Report.Selection.
+	QuadrantAuto = core.QuadrantAuto
+)
+
+// ParseQuadrant reads a quadrant from its command-line spelling
+// ("qd1".."qd4", a bare digit, or "auto").
+func ParseQuadrant(s string) (Quadrant, error) { return core.ParseQuadrant(s) }
+
+// QuadrantSelection records an auto-quadrant decision: the chosen
+// quadrant, the advisor workload derived from the dataset, and the full
+// recommendation with its rationale.
+type QuadrantSelection = core.Selection
+
 // NetworkModel converts communication volume to simulated time.
 type NetworkModel = cluster.NetworkModel
 
@@ -107,11 +134,22 @@ func TenGigabit() NetworkModel { return cluster.TenGigabit() }
 type Options struct {
 	// System picks the data-management policy (default SystemVero).
 	System System
+	// Quadrant, when nonzero, selects the data-management quadrant
+	// directly and takes precedence over System: QD1..QD4 train with the
+	// quadrant's reference system policy, and QuadrantAuto asks the
+	// advisor to choose from the dataset and network (the decision is
+	// reported in Report.Selection).
+	Quadrant Quadrant
 	// Workers is the simulated cluster size W (default 8, the paper's
 	// laboratory cluster).
 	Workers int
 	// Network is the cluster's network model (default Gigabit).
 	Network NetworkModel
+	// Concurrent runs the simulated workers on goroutines instead of
+	// sequentially. Models are bit-identical either way (reductions are
+	// order-normalized); timing fidelity requires ~W idle cores, which is
+	// why the exactly-measured sequential mode stays the default.
+	Concurrent bool
 
 	// Trees (T, default 100), Layers (L, default 8) and Splits (q,
 	// default 20) follow Section 5.1.
@@ -186,9 +224,12 @@ func DecodeModel(data []byte) (*Model, error) {
 // computation/communication breakdown the paper's figures report.
 type Report struct {
 	PerTreeSeconds []float64
-	CompSeconds    float64
-	CommSeconds    float64
-	PrepSeconds    float64
+	// Selection is non-nil when training ran with QuadrantAuto: the
+	// advisor's chosen quadrant and rationale.
+	Selection   *QuadrantSelection
+	CompSeconds float64
+	CommSeconds float64
+	PrepSeconds float64
 	// CommBytes is the total communication volume.
 	CommBytes int64
 	// HistogramPeakBytes is the largest per-worker histogram memory.
@@ -201,17 +242,40 @@ type Report struct {
 
 // Train fits a GBDT model to the dataset.
 func Train(ds *Dataset, opts Options) (*Model, *Report, error) {
-	if opts.Workers == 0 {
-		opts.Workers = 8
+	opts = opts.withDefaults()
+	cl := newCluster(opts)
+	res, err := runTrain(cl, ds, opts, baseConfig(opts))
+	if err != nil {
+		return nil, nil, err
 	}
-	if opts.Network == (NetworkModel{}) {
-		opts.Network = Gigabit()
+	return &Model{forest: res.Forest}, buildReport(cl, res), nil
+}
+
+// withDefaults fills the unset cluster options.
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 8
 	}
-	if opts.System == "" {
-		opts.System = SystemVero
+	if o.Network == (NetworkModel{}) {
+		o.Network = Gigabit()
 	}
-	cl := cluster.New(opts.Workers, opts.Network)
-	base := core.Config{
+	if o.System == "" {
+		o.System = SystemVero
+	}
+	return o
+}
+
+// newCluster builds the simulated cluster the options describe.
+func newCluster(opts Options) *cluster.Cluster {
+	if opts.Concurrent {
+		return cluster.New(opts.Workers, opts.Network, cluster.WithConcurrent())
+	}
+	return cluster.New(opts.Workers, opts.Network)
+}
+
+// baseConfig translates the options' hyper-parameters to a core config.
+func baseConfig(opts Options) core.Config {
+	return core.Config{
 		Trees:        opts.Trees,
 		Layers:       opts.Layers,
 		Splits:       opts.Splits,
@@ -223,13 +287,34 @@ func Train(ds *Dataset, opts Options) (*Model, *Report, error) {
 		Seed:         opts.Seed,
 		OnTree:       opts.OnTree,
 	}
-	res, err := systems.Train(cl, ds, opts.System, base)
-	if err != nil {
-		return nil, nil, err
+}
+
+// runTrain routes to the requested policy: an explicit quadrant trains
+// its reference system, QuadrantAuto defers the choice to the trainer's
+// advisor hook, and otherwise the named system decides.
+func runTrain(cl *cluster.Cluster, ds *Dataset, opts Options, base core.Config) (*core.Result, error) {
+	switch {
+	case opts.Quadrant == QuadrantAuto:
+		base.Quadrant = core.QuadrantAuto
+		return core.Train(cl, ds, base)
+	case opts.Quadrant != 0:
+		s, err := systems.ForQuadrant(opts.Quadrant)
+		if err != nil {
+			return nil, err
+		}
+		return systems.Train(cl, ds, s, base)
+	default:
+		return systems.Train(cl, ds, opts.System, base)
 	}
+}
+
+// buildReport assembles the public report from the run result and the
+// cluster's accumulated statistics.
+func buildReport(cl *cluster.Cluster, res *core.Result) *Report {
 	_, _, bytes := cl.Stats().Totals()
-	report := &Report{
+	return &Report{
 		PerTreeSeconds:     res.PerTreeSeconds,
+		Selection:          res.Selection,
 		CompSeconds:        res.CompSeconds,
 		CommSeconds:        res.CommSeconds,
 		PrepSeconds:        res.PrepSeconds,
@@ -238,7 +323,6 @@ func Train(ds *Dataset, opts Options) (*Model, *Report, error) {
 		DataBytes:          cl.Stats().Mem("data").MaxPeak(),
 		TransformBytes:     res.TransformBytes,
 	}
-	return &Model{forest: res.Forest}, report, nil
 }
 
 // Evaluation metrics.

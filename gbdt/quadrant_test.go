@@ -1,0 +1,117 @@
+package gbdt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encode serializes a model or fails the test.
+func encode(t *testing.T, m *Model) []byte {
+	t.Helper()
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestTrainQuadrantAuto trains with automatic quadrant selection on two
+// datasets whose shapes select different quadrants and checks that the
+// choice and rationale surface in the report.
+func TestTrainQuadrantAuto(t *testing.T) {
+	wide, err := Synthetic(SyntheticConfig{N: 600, D: 400, C: 2, InformativeRatio: 0.4, Density: 0.3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Synthetic(SyntheticConfig{N: 20000, D: 5, C: 2, InformativeRatio: 0.4, Density: 1.0, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := func(ds *Dataset, layers, splits int) (*Model, *Report) {
+		m, r, err := Train(ds, Options{
+			Quadrant: QuadrantAuto, Workers: 4, Trees: 2, Layers: layers, Splits: splits,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Selection == nil {
+			t.Fatal("auto training reported no selection")
+		}
+		if r.Selection.Advice.Rationale == "" {
+			t.Fatal("selection has no rationale")
+		}
+		if m.NumTrees() != 2 {
+			t.Fatalf("trained %d trees, want 2", m.NumTrees())
+		}
+		return m, r
+	}
+	_, rWide := train(wide, 6, 16)
+	_, rNarrow := train(narrow, 4, 8)
+	if rWide.Selection.Quadrant != QD4 {
+		t.Fatalf("wide dataset selected %v, want QD4", rWide.Selection.Quadrant)
+	}
+	if rNarrow.Selection.Quadrant != QD2 {
+		t.Fatalf("narrow dataset selected %v, want QD2", rNarrow.Selection.Quadrant)
+	}
+}
+
+// TestTrainExplicitQuadrant pins Options.Quadrant to the quadrant's
+// reference system: the model must be bit-identical to naming the system,
+// and no selection is reported.
+func TestTrainExplicitQuadrant(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{N: 800, D: 30, C: 2, InformativeRatio: 0.4, Density: 0.4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := map[Quadrant]System{
+		QD1: SystemXGBoost,
+		QD2: SystemLightGBM,
+		QD3: SystemQD3,
+		QD4: SystemVero,
+	}
+	for q, sys := range pairs {
+		opts := Options{Workers: 3, Trees: 2, Layers: 5, Splits: 16}
+		opts.Quadrant = q
+		mq, rq, err := Train(ds, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		if rq.Selection != nil {
+			t.Fatalf("%v: explicit quadrant reported a selection", q)
+		}
+		opts.Quadrant = 0
+		opts.System = sys
+		ms, _, err := Train(ds, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if !bytes.Equal(encode(t, mq), encode(t, ms)) {
+			t.Fatalf("%v differs from its reference system %s", q, sys)
+		}
+	}
+}
+
+// TestTrainConcurrentBitIdentical pins Options.Concurrent: goroutine
+// workers must produce the same bytes as the sequential default, for a
+// horizontal and a vertical quadrant.
+func TestTrainConcurrentBitIdentical(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{N: 700, D: 25, C: 3, InformativeRatio: 0.4, Density: 0.4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Quadrant{QD1, QD4} {
+		opts := Options{Quadrant: q, Workers: 3, Trees: 3, Layers: 5, Splits: 16}
+		seq, _, err := Train(ds, opts)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", q, err)
+		}
+		opts.Concurrent = true
+		conc, _, err := Train(ds, opts)
+		if err != nil {
+			t.Fatalf("%v concurrent: %v", q, err)
+		}
+		if !bytes.Equal(encode(t, seq), encode(t, conc)) {
+			t.Fatalf("%v: concurrent model differs from sequential", q)
+		}
+	}
+}

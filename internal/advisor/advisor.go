@@ -20,6 +20,7 @@ import (
 
 	"vero/internal/cluster"
 	"vero/internal/costmodel"
+	"vero/internal/datasets"
 )
 
 // Workload describes a training job in the paper's notation plus the
@@ -61,6 +62,30 @@ func (w Workload) normalize() (Workload, error) {
 		return w, fmt.Errorf("advisor: invalid workload N=%d D=%d W=%d", w.N, w.D, w.W)
 	}
 	return w, nil
+}
+
+// FromDataset derives the workload of a concrete dataset on a cluster of
+// the given size and network: shape (N, D), the dataset's gradient
+// dimension C, and the measured sparsity (nnz/row). L and Q are left at
+// zero — normalize fills the paper's defaults. This is the single
+// dataset-derivation both `Advise` on datasets and the trainer's
+// auto-quadrant selection go through; auto-selection additionally
+// overlays its configured L, q and objective's gradient dimension on the
+// result, so the two agree whenever those match the defaults.
+func FromDataset(ds *datasets.Dataset, workers int, net cluster.NetworkModel) Workload {
+	c := int64(1)
+	if ds.NumClass > 2 {
+		c = int64(ds.NumClass)
+	}
+	n := ds.NumInstances()
+	return Workload{
+		N:         int64(n),
+		D:         int64(ds.NumFeatures()),
+		C:         c,
+		W:         int64(workers),
+		NNZPerRow: float64(ds.X.NNZ()) / float64(max(1, n)),
+		Net:       net,
+	}
 }
 
 // Partitioning is the recommended partitioning scheme.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vero/internal/cluster"
+	"vero/internal/datasets"
 )
 
 func TestHighDimensionalPicksVero(t *testing.T) {
@@ -87,6 +88,37 @@ func TestFasterNetworkShiftsTowardHorizontal(t *testing.T) {
 	if fast.HorizontalCommSecPerTree >= slow.HorizontalCommSecPerTree/5 {
 		t.Fatalf("10 Gbps horizontal comm %v not well below 1 Gbps %v",
 			fast.HorizontalCommSecPerTree, slow.HorizontalCommSecPerTree)
+	}
+}
+
+func TestFromDatasetDerivesWorkload(t *testing.T) {
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: 500, D: 40, C: 5, InformativeRatio: 0.5, Density: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FromDataset(ds, 6, cluster.TenGigabit())
+	if w.N != 500 || w.D != 40 || w.W != 6 {
+		t.Fatalf("shape %+v", w)
+	}
+	if w.C != 5 {
+		t.Fatalf("multi-class C = %d, want 5", w.C)
+	}
+	if want := float64(ds.X.NNZ()) / 500; w.NNZPerRow != want {
+		t.Fatalf("NNZPerRow = %v, want %v", w.NNZPerRow, want)
+	}
+	if w.Net != cluster.TenGigabit() {
+		t.Fatalf("network %+v not propagated", w.Net)
+	}
+	// Binary data collapses the gradient dimension to 1.
+	ds.NumClass = 2
+	if w := FromDataset(ds, 6, cluster.Gigabit()); w.C != 1 {
+		t.Fatalf("binary C = %d, want 1", w.C)
+	}
+	// The derived workload must be directly recommendable.
+	if _, err := Recommend(FromDataset(ds, 6, cluster.Gigabit())); err != nil {
+		t.Fatal(err)
 	}
 }
 

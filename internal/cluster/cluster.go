@@ -115,6 +115,19 @@ func (c *Cluster) Parallel(phase string, fn func(worker int)) {
 	c.stats.addComp(phase, max.Seconds())
 }
 
+// FirstError collapses a per-worker error slice to the first failure.
+// It is the companion of Parallel for fallible worker bodies: each worker
+// writes only its own slot, so filling the slice needs no synchronization
+// even on a concurrent cluster.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // simTime converts one logical transfer of b bytes over `steps` collective
 // rounds into seconds under the alpha-beta model.
 func (c *Cluster) simTime(steps int, bytesPerStep float64) float64 {

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+
+	"vero/internal/advisor"
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+	"vero/internal/loss"
+)
+
+// resolveAuto turns Config.Quadrant == QuadrantAuto into a concrete
+// quadrant: it derives the advisor's workload from the dataset and
+// cluster (shape, gradient dimension, sparsity, network model), asks for
+// a recommendation, and specializes the config to the recommended
+// quadrant's reference policy — the system named in that quadrant of
+// Figure 1. Hyper-parameters are untouched, so the trained model is
+// bit-identical to an explicit run of the chosen quadrant.
+func resolveAuto(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config, obj loss.Objective) (Config, *Selection, error) {
+	w := advisor.FromDataset(ds, cl.Workers(), cl.Net())
+	w.L = int64(cfg.Layers)
+	w.Q = int64(cfg.Splits)
+	w.C = int64(obj.NumClass())
+	rec, err := advisor.Recommend(w)
+	if err != nil {
+		return cfg, nil, fmt.Errorf("core: auto quadrant: %w", err)
+	}
+	cfg, err = ConfigureQuadrant(Quadrant(rec.Quadrant), cfg)
+	if err != nil {
+		return cfg, nil, fmt.Errorf("core: auto quadrant: %w", err)
+	}
+	return cfg, &Selection{Quadrant: cfg.Quadrant, Workload: w, Advice: rec}, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+)
+
+// autoShape is one workload in TestAutoQuadrantSelection's sweep.
+type autoShape struct {
+	name    string
+	n, d    int
+	density float64
+	layers  int
+	splits  int
+	want    Quadrant
+}
+
+// autoShapes covers three regimes of the advisor's decision matrix
+// (Table 1): high-dimensional sparse data (vertical+row wins), low
+// dimensionality with many instances (horizontal+row wins), and very few
+// instances relative to D (vertical+column wins).
+var autoShapes = []autoShape{
+	{name: "wide", n: 600, d: 400, density: 0.3, layers: 6, splits: 16, want: QD4},
+	{name: "narrow", n: 20000, d: 5, density: 1.0, layers: 4, splits: 8, want: QD2},
+	{name: "tall-col", n: 500, d: 1500, density: 0.1, layers: 6, splits: 16, want: QD3},
+}
+
+// TestAutoQuadrantSelection trains with QuadrantAuto on datasets whose
+// shapes select three different quadrants, checks the recorded selection,
+// and pins the model to the explicit run of the chosen quadrant — auto
+// must only pick the policy, never change the trees.
+func TestAutoQuadrantSelection(t *testing.T) {
+	for _, s := range autoShapes {
+		t.Run(s.name, func(t *testing.T) {
+			ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+				N: s.n, D: s.d, C: 2, InformativeRatio: 0.4, Density: s.density, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Quadrant: QuadrantAuto, Trees: 2, Layers: s.layers, Splits: s.splits}
+			cl := cluster.New(4, cluster.Gigabit())
+			res, err := Train(cl, ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Selection == nil {
+				t.Fatal("auto run recorded no selection")
+			}
+			if res.Selection.Quadrant != s.want {
+				t.Fatalf("selected %v, want %v (rationale: %s)",
+					res.Selection.Quadrant, s.want, res.Selection.Advice.Rationale)
+			}
+			if res.Selection.Advice.Rationale == "" {
+				t.Fatal("selection has no rationale")
+			}
+			if wl := res.Selection.Workload; wl.N != int64(s.n) || wl.D != int64(s.d) ||
+				wl.W != 4 || wl.L != int64(s.layers) || wl.Q != int64(s.splits) {
+				t.Fatalf("selection workload %+v does not match dataset/config", wl)
+			}
+			if res.Forest.NumTrees() != 2 {
+				t.Fatalf("auto run trained %d trees, want 2", res.Forest.NumTrees())
+			}
+
+			cfg.Quadrant = s.want
+			explicit, _ := trainQuadrant(t, ds, cfg, 4)
+			forestsEqual(t, explicit.Forest, res.Forest, "explicit", "auto")
+			if explicit.Selection != nil {
+				t.Fatal("explicit run recorded a selection")
+			}
+		})
+	}
+}
+
+// TestAutoRejectsFullCopy: FullCopy pins QD4, which the advisor may not
+// choose — the combination is a config error, same as FullCopy+QD2.
+func TestAutoRejectsFullCopy(t *testing.T) {
+	ds := binaryData(t, 100, 10, 0.5)
+	cl := cluster.New(2, cluster.Gigabit())
+	if _, err := Train(cl, ds, Config{Quadrant: QuadrantAuto, FullCopy: true}); err == nil {
+		t.Fatal("accepted FullCopy with QuadrantAuto")
+	}
+}
+
+func TestParseQuadrant(t *testing.T) {
+	good := map[string]Quadrant{
+		"auto": QuadrantAuto, "AUTO": QuadrantAuto,
+		"qd1": QD1, "QD2": QD2, "qd3": QD3, "qd4": QD4,
+		"1": QD1, "2": QD2, "3": QD3, "4": QD4,
+	}
+	for s, want := range good {
+		q, err := ParseQuadrant(s)
+		if err != nil {
+			t.Fatalf("ParseQuadrant(%q): %v", s, err)
+		}
+		if q != want {
+			t.Fatalf("ParseQuadrant(%q) = %v, want %v", s, q, want)
+		}
+	}
+	for _, s := range []string{"", "qd5", "0", "horizontal", "5"} {
+		if _, err := ParseQuadrant(s); err == nil {
+			t.Fatalf("ParseQuadrant(%q) accepted", s)
+		}
+	}
+}

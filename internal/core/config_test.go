@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vero/internal/datasets"
+	"vero/internal/sparse"
+)
+
+// TestSetDefaults drives Config.setDefaults through its validation and
+// default-filling paths.
+func TestSetDefaults(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+		check   func(t *testing.T, c Config)
+	}{
+		{name: "zero quadrant", cfg: Config{}, wantErr: "unknown quadrant"},
+		{name: "quadrant too high", cfg: Config{Quadrant: QD4 + 1}, wantErr: "unknown quadrant"},
+		{name: "quadrant below auto", cfg: Config{Quadrant: -2}, wantErr: "unknown quadrant"},
+		{name: "negative trees", cfg: Config{Quadrant: QD2, Trees: -1}, wantErr: "invalid T"},
+		{name: "single layer", cfg: Config{Quadrant: QD2, Layers: 1}, wantErr: "invalid T"},
+		{name: "one split", cfg: Config{Quadrant: QD2, Splits: 1}, wantErr: "invalid T"},
+		{
+			name: "splits beyond bin budget",
+			cfg:  Config{Quadrant: QD2, Splits: sparse.MaxBins + 1}, wantErr: "invalid T",
+		},
+		{name: "full copy on QD2", cfg: Config{Quadrant: QD2, FullCopy: true}, wantErr: "FullCopy"},
+		{name: "full copy on auto", cfg: Config{Quadrant: QuadrantAuto, FullCopy: true}, wantErr: "FullCopy"},
+		{
+			name: "defaults filled",
+			cfg:  Config{Quadrant: QD1},
+			check: func(t *testing.T, c Config) {
+				if c.Trees != 100 || c.Layers != 8 || c.Splits != 20 {
+					t.Fatalf("T/L/q defaults = %d/%d/%d", c.Trees, c.Layers, c.Splits)
+				}
+				if c.LearningRate != 0.3 || c.Lambda != 1 || c.SketchEps != 0.01 {
+					t.Fatalf("eta/lambda/eps defaults = %v/%v/%v", c.LearningRate, c.Lambda, c.SketchEps)
+				}
+			},
+		},
+		{
+			name: "auto quadrant accepted",
+			cfg:  Config{Quadrant: QuadrantAuto},
+			check: func(t *testing.T, c Config) {
+				if c.Quadrant != QuadrantAuto {
+					t.Fatalf("quadrant rewritten to %v", c.Quadrant)
+				}
+			},
+		},
+		{
+			name: "explicit values kept",
+			cfg:  Config{Quadrant: QD4, Trees: 7, Layers: 3, Splits: 9, LearningRate: 0.1, Lambda: 2},
+			check: func(t *testing.T, c Config) {
+				if c.Trees != 7 || c.Layers != 3 || c.Splits != 9 || c.LearningRate != 0.1 || c.Lambda != 2 {
+					t.Fatalf("explicit values rewritten: %+v", c)
+				}
+			},
+		},
+		{name: "full copy on QD4", cfg: Config{Quadrant: QD4, FullCopy: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			err := cfg.setDefaults()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want one containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.check != nil {
+				tc.check(t, cfg)
+			}
+		})
+	}
+}
+
+// TestObjectiveResolution drives the objective/NumClass resolution matrix:
+// empty objectives are inferred from the dataset, binary objectives
+// upgrade to softmax on multi-class data, and impossible combinations are
+// errors.
+func TestObjectiveResolution(t *testing.T) {
+	cases := []struct {
+		name      string
+		objective string
+		cfgClass  int
+		dsClass   int
+		wantName  string
+		wantC     int
+		wantErr   string
+	}{
+		{name: "regression default", dsClass: 1, wantName: "square", wantC: 1},
+		{name: "binary default", dsClass: 2, wantName: "logistic", wantC: 1},
+		{name: "multiclass default", dsClass: 5, wantName: "softmax", wantC: 5},
+		{name: "logistic upgraded", objective: "logistic", dsClass: 4, wantName: "softmax", wantC: 4},
+		{name: "explicit square", objective: "square", dsClass: 1, wantName: "square", wantC: 1},
+		{name: "explicit softmax", objective: "softmax", dsClass: 3, wantName: "softmax", wantC: 3},
+		{name: "config class overrides dataset", objective: "softmax", cfgClass: 6, dsClass: 3, wantName: "softmax", wantC: 6},
+		{name: "softmax on regression data", objective: "softmax", dsClass: 1, wantErr: "softmax needs >= 2 classes"},
+		{name: "unknown objective", objective: "hinge", dsClass: 2, wantErr: `unknown objective "hinge"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := &datasets.Dataset{NumClass: tc.dsClass}
+			obj, err := objective(ds, Config{Objective: tc.objective, NumClass: tc.cfgClass})
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want one containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj.Name() != tc.wantName {
+				t.Fatalf("objective %q, want %q", obj.Name(), tc.wantName)
+			}
+			if obj.NumClass() != tc.wantC {
+				t.Fatalf("gradient dimension %d, want %d", obj.NumClass(), tc.wantC)
+			}
+		})
+	}
+}

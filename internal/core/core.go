@@ -17,7 +17,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
+	"vero/internal/advisor"
 	"vero/internal/cluster"
 	"vero/internal/datasets"
 	"vero/internal/histogram"
@@ -38,9 +40,18 @@ const (
 	QD4                     // vertical + row-store (Vero)
 )
 
+// QuadrantAuto asks Train to pick among QD1-QD4 itself: prepare derives
+// the advisor's workload from the dataset and cluster, applies the
+// paper's cost model (Section 3.1) and decision matrix (Table 1), and
+// trains with the recommended quadrant's reference policy. The choice and
+// its rationale are recorded in Result.Selection.
+const QuadrantAuto Quadrant = -1
+
 // String names the quadrant as in the paper.
 func (q Quadrant) String() string {
 	switch q {
+	case QuadrantAuto:
+		return "auto"
 	case QD1:
 		return "QD1 (horizontal+column)"
 	case QD2:
@@ -54,8 +65,49 @@ func (q Quadrant) String() string {
 	}
 }
 
+// ParseQuadrant reads a quadrant from its command-line spelling: "qd1"
+// through "qd4" (or the bare digit), and "auto" for QuadrantAuto.
+func ParseQuadrant(s string) (Quadrant, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return QuadrantAuto, nil
+	case "qd1", "1":
+		return QD1, nil
+	case "qd2", "2":
+		return QD2, nil
+	case "qd3", "3":
+		return QD3, nil
+	case "qd4", "4":
+		return QD4, nil
+	}
+	return 0, fmt.Errorf("core: unknown quadrant %q (want qd1..qd4 or auto)", s)
+}
+
 // Vertical reports whether the quadrant partitions by features.
 func (q Quadrant) Vertical() bool { return q == QD3 || q == QD4 }
+
+// ConfigureQuadrant specializes cfg to quadrant q's reference policy —
+// the policy of the named system occupying that quadrant of Figure 1:
+// QD1 all-reduce aggregation (XGBoost), QD2 reduce-scatter (LightGBM
+// data-parallel), QD3 hybrid column index (the paper's optimized
+// baseline), QD4 the horizontal-to-vertical transformation (Vero). The
+// single copy of this mapping serves both internal/systems and the
+// auto-quadrant resolution, so the two cannot drift.
+func ConfigureQuadrant(q Quadrant, cfg Config) (Config, error) {
+	switch q {
+	case QD1:
+		cfg.Quadrant, cfg.Aggregation = QD1, AggAllReduce
+	case QD2:
+		cfg.Quadrant, cfg.Aggregation = QD2, AggReduceScatter
+	case QD3:
+		cfg.Quadrant, cfg.ColumnIndex = QD3, IndexHybrid
+	case QD4:
+		cfg.Quadrant, cfg.FullCopy = QD4, false
+	default:
+		return cfg, fmt.Errorf("core: no reference policy for quadrant %v", q)
+	}
+	return cfg, nil
+}
 
 // Aggregation selects how horizontal quadrants aggregate histograms
 // (Section 4.1).
@@ -136,7 +188,7 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() error {
-	if c.Quadrant < QD1 || c.Quadrant > QD4 {
+	if c.Quadrant != QuadrantAuto && (c.Quadrant < QD1 || c.Quadrant > QD4) {
 		return fmt.Errorf("core: unknown quadrant %d", c.Quadrant)
 	}
 	if c.Trees == 0 {
@@ -166,9 +218,21 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
+// Selection records an auto-quadrant decision (Config.Quadrant ==
+// QuadrantAuto): the chosen quadrant, the workload the advisor scored,
+// and the full recommendation including its human-readable rationale.
+type Selection struct {
+	Quadrant Quadrant
+	Workload advisor.Workload
+	Advice   advisor.Recommendation
+}
+
 // Result is the outcome of a training run.
 type Result struct {
 	Forest *tree.Forest
+	// Selection is non-nil when the quadrant was chosen by the advisor
+	// (Config.Quadrant == QuadrantAuto).
+	Selection *Selection
 	// PerTreeSeconds is the simulated wall time of each tree:
 	// measured computation makespan plus simulated communication.
 	PerTreeSeconds []float64
@@ -194,6 +258,12 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	var sel *Selection
+	if cfg.Quadrant == QuadrantAuto {
+		if cfg, sel, err = resolveAuto(cl, ds, cfg, obj); err != nil {
+			return nil, err
+		}
+	}
 	t := newTrainer(cl, ds, cfg, obj)
 	if t.n == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
@@ -201,7 +271,12 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 	if err := t.prepare(); err != nil {
 		return nil, err
 	}
-	return t.run()
+	res, err := t.run()
+	if err != nil {
+		return nil, err
+	}
+	res.Selection = sel
+	return res, nil
 }
 
 // newTrainer assembles an unprepared trainer over the cluster and dataset.

@@ -1,20 +1,190 @@
 package core
 
 import (
+	"vero/internal/cluster"
 	"vero/internal/histogram"
+	"vero/internal/index"
+	"vero/internal/partition"
+	"vero/internal/sparse"
 	"vero/internal/tree"
 )
 
-// Horizontal quadrants (QD1: column-store + instance-to-node index;
-// QD2: row-store + node-to-instance index). Workers hold disjoint row
-// ranges with all features; histograms are built locally for every feature
-// and aggregated across workers (Figure 4(a)).
+// horizontalEngine implements the horizontal quadrants (QD1: column-store
+// + instance-to-node index; QD2: row-store + node-to-instance index).
+// Workers hold disjoint row ranges with all features; histograms are built
+// locally for every feature and aggregated across workers (Figure 4(a)).
+type horizontalEngine struct {
+	t *trainer
+
+	// flatG/flatH are per-worker arena scratch for the routed column-scan
+	// kernel: one flat buffer pair holds every histogram a worker builds in
+	// a layer, reused (and re-zeroed) layer after layer.
+	flatG, flatH [][]float64
+
+	rows   []*sparse.BinnedCSR // QD2: per-worker row shards
+	cols   []*sparse.BinnedCSC // QD1: per-worker column views of row shards
+	n2i    []*index.NodeToInstance
+	i2n    []*index.InstanceToNode
+	agg    map[int32]*histogram.Hist // aggregated histograms, by node id
+	layout histogram.Layout
+}
 
 // splitWireBytes is the serialized size of one best-split record
 // (feature id, bin, gain, default direction).
 const splitWireBytes = 24
 
-func (t *trainer) horizontalRootTotals() ([]float64, []float64) {
+// prepare sketches candidate splits and bins each worker's row shard into
+// the quadrant's storage pattern.
+func (e *horizontalEngine) prepare() error {
+	t := e.t
+	if _, err := t.distributedSketch(); err != nil {
+		return err
+	}
+	if err := t.checkMaxBins(); err != nil {
+		return err
+	}
+	e.flatG = make([][]float64, t.w)
+	e.flatH = make([][]float64, t.w)
+	e.layout = histogram.Layout{NumFeat: t.d, MaxBins: t.maxBins, NumClass: t.c}
+	e.agg = make(map[int32]*histogram.Hist)
+
+	dataGauge := t.cl.Stats().Mem("data")
+	errs := make([]error, t.w)
+	if t.cfg.Quadrant == QD2 {
+		e.rows = make([]*sparse.BinnedCSR, t.w)
+		e.n2i = make([]*index.NodeToInstance, t.w)
+		t.cl.Parallel("prep.bin", func(w int) {
+			shard := t.ds.X.SliceRows(t.ranges[w][0], t.ranges[w][1])
+			binned, err := t.binner.BinCSR(shard)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			e.rows[w] = binned
+			e.n2i[w] = index.NewNodeToInstance(binned.Rows())
+			dataGauge.Set(w, binnedCSRBytes(binned))
+		})
+		return cluster.FirstError(errs)
+	}
+
+	// QD1: column views of the row shards, instance-to-node index.
+	e.cols = make([]*sparse.BinnedCSC, t.w)
+	e.i2n = make([]*index.InstanceToNode, t.w)
+	t.cl.Parallel("prep.bin", func(w int) {
+		shard := t.ds.X.SliceRows(t.ranges[w][0], t.ranges[w][1])
+		binned, err := t.binner.BinCSR(shard)
+		if err != nil {
+			errs[w] = err
+			return
+		}
+		e.cols[w] = binned.ToCSC()
+		e.i2n[w] = index.NewInstanceToNode(shard.Rows())
+		dataGauge.Set(w, binnedCSCBytes(e.cols[w]))
+	})
+	return cluster.FirstError(errs)
+}
+
+// beginRun implements engine; the horizontal quadrants need no per-run
+// scratch beyond the trainer's shared buffers.
+func (e *horizontalEngine) beginRun() {}
+
+// usesSubtraction implements engine: QD1's shared accumulators cannot
+// retain per-parent state, so both children always build.
+func (e *horizontalEngine) usesSubtraction() bool { return e.t.cfg.Quadrant != QD1 }
+
+// transformReport implements engine: no repartitioning happens.
+func (e *horizontalEngine) transformReport() partition.ByteReport { return partition.ByteReport{} }
+
+// chargeAggregation records the histogram-aggregation cost of one node's
+// histograms (payload bytes) under the configured collective.
+func (e *horizontalEngine) chargeAggregation(payload int64) {
+	switch e.t.cfg.Aggregation {
+	case AggReduceScatter:
+		e.t.cl.ChargeReduceScatter(phaseHist, payload)
+	case AggParameterServer:
+		e.t.cl.ChargeShardedGather(phaseHist, payload, e.t.w)
+	default:
+		e.t.cl.ChargeAllReduce(phaseHist, payload)
+	}
+}
+
+// computeGradients has each worker process its own row range.
+func (e *horizontalEngine) computeGradients() {
+	t := e.t
+	labels := t.ds.Labels
+	t.cl.Parallel(phaseGrad, func(w int) {
+		lo, hi := t.ranges[w][0], t.ranges[w][1]
+		for i := lo; i < hi; i++ {
+			t.obj.GradHess(t.preds[i*t.c:(i+1)*t.c], labels[i], t.grads[i*t.c:(i+1)*t.c], t.hessv[i*t.c:(i+1)*t.c])
+		}
+	})
+}
+
+func (e *horizontalEngine) resetIndexes() {
+	if e.t.cfg.Quadrant == QD1 {
+		for _, idx := range e.i2n {
+			idx.Reset()
+		}
+		return
+	}
+	for _, idx := range e.n2i {
+		idx.Reset()
+	}
+}
+
+func (e *horizontalEngine) clearHists() {
+	for id := range e.agg {
+		e.dropHist(id)
+	}
+}
+
+func (e *horizontalEngine) dropHist(id int32) {
+	t := e.t
+	if h, ok := e.agg[id]; ok {
+		g := t.cl.Stats().Mem("histogram")
+		for w := 0; w < t.w; w++ {
+			g.Add(w, -e.layout.SizeBytes())
+		}
+		t.pool.Put(h)
+		delete(e.agg, id)
+	}
+}
+
+// deriveHistograms computes each node's histogram as parent minus built
+// sibling, reusing the parent's storage (the parent entry is consumed).
+func (e *horizontalEngine) deriveHistograms(toDerive []*nodeInfo) {
+	e.t.cl.Parallel(phaseHist, func(w int) {
+		if w != 0 {
+			return // aggregated histograms are logically replicated; derive once
+		}
+		for _, nd := range toDerive {
+			parent := e.agg[nd.parent]
+			sibling := e.agg[siblingOf(nd)]
+			parent.Sub(sibling)
+			e.agg[nd.id] = parent
+			delete(e.agg, nd.parent)
+		}
+	})
+}
+
+// flatScratch returns worker w's zeroed arena scratch of n floats per
+// side, growing the buffers when a layer needs more histogram slots than
+// any before it.
+func (e *horizontalEngine) flatScratch(w, n int) (g, h []float64) {
+	if cap(e.flatG[w]) < n {
+		e.flatG[w] = make([]float64, n)
+		e.flatH[w] = make([]float64, n)
+	} else {
+		e.flatG[w] = e.flatG[w][:n]
+		e.flatH[w] = e.flatH[w][:n]
+		clear(e.flatG[w])
+		clear(e.flatH[w])
+	}
+	return e.flatG[w], e.flatH[w]
+}
+
+func (e *horizontalEngine) rootTotals() ([]float64, []float64) {
+	t := e.t
 	locals := make([][]float64, t.w)
 	t.cl.Parallel(phaseGrad, func(w int) {
 		acc := make([]float64, 2*t.c)
@@ -40,9 +210,10 @@ func (t *trainer) horizontalRootTotals() ([]float64, []float64) {
 	return sum[:t.c], sum[t.c:]
 }
 
-// horizontalBuildHistograms constructs local histograms and aggregates
-// them per the configured method.
-func (t *trainer) horizontalBuildHistograms(toBuild []*nodeInfo) {
+// buildHistograms constructs local histograms and aggregates them per the
+// configured method.
+func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
+	t := e.t
 	if t.cfg.Quadrant == QD2 {
 		// Row-store: per node, scan the node's instances (node-to-instance
 		// index) through the fused row-scan kernel and aggregate
@@ -51,13 +222,13 @@ func (t *trainer) horizontalBuildHistograms(toBuild []*nodeInfo) {
 		for _, nd := range toBuild {
 			locals := make([]*histogram.Hist, t.w)
 			t.cl.Parallel(phaseHist, func(w int) {
-				h := t.pool.Get(t.layoutH)
-				shard := t.hRows[w]
-				h.RowScan(t.hN2I[w].Instances(nd.id), 0, shard.RowPtr, shard.Feat, shard.Bin,
+				h := t.pool.Get(e.layout)
+				shard := e.rows[w]
+				h.RowScan(e.n2i[w].Instances(nd.id), 0, shard.RowPtr, shard.Feat, shard.Bin,
 					t.grads, t.hessv, t.ranges[w][0])
 				locals[w] = h
 			})
-			t.aggregate(nd.id, locals)
+			e.aggregate(nd.id, locals)
 			for _, h := range locals {
 				t.pool.Put(h)
 			}
@@ -88,7 +259,7 @@ func (t *trainer) horizontalBuildHistograms(toBuild []*nodeInfo) {
 	}
 	acc := make([]*histogram.Hist, len(toBuild))
 	for i := range acc {
-		acc[i] = t.pool.Get(t.layoutH)
+		acc[i] = t.pool.Get(e.layout)
 	}
 	// merged[w] closes once worker w has folded its partials in; worker
 	// w+1 waits for it, so the floating-point reduction order is the
@@ -98,50 +269,38 @@ func (t *trainer) horizontalBuildHistograms(toBuild []*nodeInfo) {
 		merged[w] = make(chan struct{})
 	}
 	t.cl.Parallel(phaseHist, func(w int) {
-		stride := t.layoutH.FloatsPerSide()
-		ag, ah := t.flatScratch(w, stride*len(toBuild))
-		cols := t.hCols[w]
-		nodeOf := t.hI2N[w].Assignments()
+		stride := e.layout.FloatsPerSide()
+		ag, ah := e.flatScratch(w, stride*len(toBuild))
+		cols := e.cols[w]
+		nodeOf := e.i2n[w].Assignments()
 		base := t.ranges[w][0]
 		for j := 0; j < cols.Cols(); j++ {
 			insts, bins := cols.Col(j)
-			histogram.ColumnScanRouted(ag, ah, stride, t.layoutH, j, insts, bins, nodeOf, slot, t.grads, t.hessv, base)
+			histogram.ColumnScanRouted(ag, ah, stride, e.layout, j, insts, bins, nodeOf, slot, t.grads, t.hessv, base)
 		}
 		if w > 0 {
 			<-merged[w-1]
 		}
 		for i := range acc {
-			acc[i].Merge(&histogram.Hist{Layout: t.layoutH,
+			acc[i].Merge(&histogram.Hist{Layout: e.layout,
 				Grad: ag[i*stride : (i+1)*stride], Hess: ah[i*stride : (i+1)*stride]})
 		}
 		close(merged[w])
 	})
 	mem := t.cl.Stats().Mem("histogram")
 	for i, nd := range toBuild {
-		t.chargeAggregation(t.layoutH.SizeBytes())
-		t.aggHist[nd.id] = acc[i]
+		e.chargeAggregation(e.layout.SizeBytes())
+		e.agg[nd.id] = acc[i]
 		for w := 0; w < t.w; w++ {
-			mem.Add(w, t.layoutH.SizeBytes())
+			mem.Add(w, e.layout.SizeBytes())
 		}
-	}
-}
-
-// chargeAggregation records the histogram-aggregation cost of one node's
-// histograms (payload bytes) under the configured collective.
-func (t *trainer) chargeAggregation(payload int64) {
-	switch t.cfg.Aggregation {
-	case AggReduceScatter:
-		t.cl.ChargeReduceScatter(phaseHist, payload)
-	case AggParameterServer:
-		t.cl.ChargeShardedGather(phaseHist, payload, t.w)
-	default:
-		t.cl.ChargeAllReduce(phaseHist, payload)
 	}
 }
 
 // aggregate reduces per-worker histograms of one node into the aggregated
 // map, charging the configured collective.
-func (t *trainer) aggregate(node int32, locals []*histogram.Hist) {
+func (e *horizontalEngine) aggregate(node int32, locals []*histogram.Hist) {
+	t := e.t
 	gl := make([][]float64, t.w)
 	hl := make([][]float64, t.w)
 	for w, h := range locals {
@@ -151,7 +310,7 @@ func (t *trainer) aggregate(node int32, locals []*histogram.Hist) {
 	// Reduce straight into a pooled histogram: every histogram the trainer
 	// releases was drawn from the pool (keeping the free list bounded by
 	// the live set), and the steady state allocates nothing per node.
-	agg := t.pool.Get(t.layoutH)
+	agg := t.pool.Get(e.layout)
 	switch t.cfg.Aggregation {
 	case AggReduceScatter:
 		t.cl.ReduceScatterSumInto(phaseHist, gl, agg.Grad)
@@ -163,18 +322,19 @@ func (t *trainer) aggregate(node int32, locals []*histogram.Hist) {
 		t.cl.AllReduceSumInto(phaseHist, gl, agg.Grad)
 		t.cl.AllReduceSumInto(phaseHist, hl, agg.Hess)
 	}
-	t.aggHist[node] = agg
+	e.agg[node] = agg
 	mem := t.cl.Stats().Mem("histogram")
 	for w := 0; w < t.w; w++ {
-		mem.Add(w, t.layoutH.SizeBytes())
+		mem.Add(w, e.layout.SizeBytes())
 	}
 }
 
-// horizontalFindSplits locates each frontier node's best split on the
-// aggregated histograms, with the work placed where the aggregation method
-// puts it: a leader for all-reduce, per-feature-shard workers for
-// reduce-scatter and the parameter servers.
-func (t *trainer) horizontalFindSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
+// findSplits locates each frontier node's best split on the aggregated
+// histograms, with the work placed where the aggregation method puts it: a
+// leader for all-reduce, per-feature-shard workers for reduce-scatter and
+// the parameter servers.
+func (e *horizontalEngine) findSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
+	t := e.t
 	out := make(map[int32]resolvedSplit, len(frontier))
 	switch t.cfg.Aggregation {
 	case AggReduceScatter, AggParameterServer:
@@ -187,7 +347,7 @@ func (t *trainer) horizontalFindSplits(frontier []*nodeInfo) map[int32]resolvedS
 			hi := min(lo+per, t.d)
 			m := make(map[int32]histogram.Split, len(frontier))
 			for _, nd := range frontier {
-				m[nd.id] = t.finder.FindBestInRange(t.aggHist[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal, lo, hi)
+				m[nd.id] = t.finder.FindBestInRange(e.agg[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal, lo, hi)
 			}
 			bests[w] = m
 		})
@@ -208,7 +368,7 @@ func (t *trainer) horizontalFindSplits(frontier []*nodeInfo) map[int32]resolvedS
 				return
 			}
 			for _, nd := range frontier {
-				s := t.finder.FindBest(t.aggHist[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal)
+				s := t.finder.FindBest(e.agg[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal)
 				out[nd.id] = resolvedSplit{node: nd.id, feature: s.Feature, bin: s.Bin,
 					gain: s.Gain, defaultLeft: s.DefaultLeft, valid: s.Valid}
 			}
@@ -218,17 +378,18 @@ func (t *trainer) horizontalFindSplits(frontier []*nodeInfo) map[int32]resolvedS
 	return out
 }
 
-// horizontalApplyLayer updates each worker's local node/instance index;
-// every worker holds all features of its rows, so placements are computed
-// locally — no placement broadcast, only the (tiny) split records travel.
-func (t *trainer) horizontalApplyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+// applyLayer updates each worker's local node/instance index; every worker
+// holds all features of its rows, so placements are computed locally — no
+// placement broadcast, only the (tiny) split records travel.
+func (e *horizontalEngine) applyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+	t := e.t
 	t.cl.Broadcast(phaseNode, int64(len(splits))*splitWireBytes)
 	if t.cfg.Quadrant == QD2 {
 		t.cl.Parallel(phaseNode, func(w int) {
-			shard := t.hRows[w]
+			shard := e.rows[w]
 			for parent, ch := range children {
 				sp := splits[parent]
-				t.hN2I[w].Split(parent, ch[0], ch[1], func(inst uint32) bool {
+				e.n2i[w].Split(parent, ch[0], ch[1], func(inst uint32) bool {
 					feats, bins := shard.Row(int(inst))
 					bin, ok := lookupBin(feats, bins, uint32(sp.feature))
 					if !ok {
@@ -244,8 +405,8 @@ func (t *trainer) horizontalApplyLayer(splits map[int32]resolvedSplit, children 
 	// feature value is found by binary search on its column (the
 	// column-store node-splitting cost of Section 3.2.3).
 	t.cl.Parallel(phaseNode, func(w int) {
-		cols := t.hCols[w]
-		i2n := t.hI2N[w]
+		cols := e.cols[w]
+		i2n := e.i2n[w]
 		i2n.SplitLayer(children, func(inst uint32) bool {
 			sp := splits[i2n.Node(inst)]
 			insts, bins := cols.Col(sp.feature)
@@ -258,9 +419,10 @@ func (t *trainer) horizontalApplyLayer(splits map[int32]resolvedSplit, children 
 	})
 }
 
-// horizontalChildStats computes counts and gradient totals of the new
-// children from local rows plus one small all-reduce.
-func (t *trainer) horizontalChildStats(nodes []*nodeInfo) {
+// childStats computes counts and gradient totals of the new children from
+// local rows plus one small all-reduce.
+func (e *horizontalEngine) childStats(nodes []*nodeInfo) {
+	t := e.t
 	stride := 2*t.c + 1 // totals + count
 	slot := make(map[int32]int, len(nodes))
 	for i, nd := range nodes {
@@ -273,7 +435,7 @@ func (t *trainer) horizontalChildStats(nodes []*nodeInfo) {
 			base := t.ranges[w][0]
 			for _, nd := range nodes {
 				o := slot[nd.id] * stride
-				insts := t.hN2I[w].Instances(nd.id)
+				insts := e.n2i[w].Instances(nd.id)
 				if t.c == 1 {
 					var g, h float64
 					for _, inst := range insts {
@@ -299,7 +461,7 @@ func (t *trainer) horizontalChildStats(nodes []*nodeInfo) {
 	} else {
 		t.cl.Parallel(phaseNode, func(w int) {
 			acc := make([]float64, stride*len(nodes))
-			i2n := t.hI2N[w]
+			i2n := e.i2n[w]
 			base := t.ranges[w][0]
 			if t.c == 1 {
 				for inst, nid := range i2n.Assignments() {
@@ -340,10 +502,11 @@ func (t *trainer) horizontalChildStats(nodes []*nodeInfo) {
 	}
 }
 
-// horizontalUpdatePredictions adds the finished tree's leaf weights to the
-// raw scores of each worker's rows; the leaf weights travel in one small
+// updatePredictions adds the finished tree's leaf weights to the raw
+// scores of each worker's rows; the leaf weights travel in one small
 // broadcast.
-func (t *trainer) horizontalUpdatePredictions(tr *tree.Tree) {
+func (e *horizontalEngine) updatePredictions(tr *tree.Tree) {
+	t := e.t
 	t.cl.Broadcast(phaseUpdate, int64(tr.NumLeaves()*t.c)*8)
 	eta := t.cfg.LearningRate
 	if t.cfg.Quadrant == QD2 {
@@ -354,7 +517,7 @@ func (t *trainer) horizontalUpdatePredictions(tr *tree.Tree) {
 				if !n.IsLeaf() {
 					continue
 				}
-				for _, inst := range t.hN2I[w].Instances(int32(id)) {
+				for _, inst := range e.n2i[w].Instances(int32(id)) {
 					gi := (base + int(inst)) * t.c
 					for k := 0; k < t.c; k++ {
 						t.preds[gi+k] += eta * n.Weights[k]
@@ -365,7 +528,7 @@ func (t *trainer) horizontalUpdatePredictions(tr *tree.Tree) {
 		return
 	}
 	t.cl.Parallel(phaseUpdate, func(w int) {
-		i2n := t.hI2N[w]
+		i2n := e.i2n[w]
 		base := t.ranges[w][0]
 		for inst := 0; inst < i2n.Len(); inst++ {
 			leaf := &tr.Nodes[i2n.Node(uint32(inst))]

@@ -4,195 +4,44 @@ import (
 	"fmt"
 
 	"vero/internal/cluster"
-	"vero/internal/histogram"
-	"vero/internal/index"
 	"vero/internal/partition"
 	"vero/internal/sketch"
 	"vero/internal/sparse"
 )
 
-// prepare builds the candidate splits and materializes each worker's data
-// shard according to the quadrant, charging the preparation communication.
+// prepare constructs the quadrant's engine and lets it materialize each
+// worker's data shard, charging the preparation communication. The row
+// ranges of the incoming horizontal layout are shared: every quadrant
+// sketches from them, and the vertical quadrants repartition from them.
 func (t *trainer) prepare() error {
 	t.ranges = partition.HorizontalRanges(t.n, t.w)
-	t.flatG = make([][]float64, t.w)
-	t.flatH = make([][]float64, t.w)
-
-	if t.cfg.Quadrant == QD4 && !t.cfg.FullCopy {
-		return t.prepareVero()
-	}
-
-	featCount, err := t.distributedSketch()
+	eng, err := newEngine(t)
 	if err != nil {
 		return err
 	}
-	t.maxBins = t.binner.MaxNumBins()
-	if t.maxBins < 2 {
-		return fmt.Errorf("core: dataset yields %d candidate splits; need >= 2", t.maxBins)
-	}
-
-	dataGauge := t.cl.Stats().Mem("data")
-	switch t.cfg.Quadrant {
-	case QD2:
-		t.layoutH = histogram.Layout{NumFeat: t.d, MaxBins: t.maxBins, NumClass: t.c}
-		t.aggHist = make(map[int32]*histogram.Hist)
-		t.hRows = make([]*sparse.BinnedCSR, t.w)
-		t.hN2I = make([]*index.NodeToInstance, t.w)
-		var prepErr error
-		t.cl.Parallel("prep.bin", func(w int) {
-			shard := t.ds.X.SliceRows(t.ranges[w][0], t.ranges[w][1])
-			binned, err := t.binner.BinCSR(shard)
-			if err != nil {
-				prepErr = err
-				return
-			}
-			t.hRows[w] = binned
-			t.hN2I[w] = index.NewNodeToInstance(binned.Rows())
-			dataGauge.Set(w, binnedCSRBytes(binned))
-		})
-		return prepErr
-
-	case QD1:
-		t.layoutH = histogram.Layout{NumFeat: t.d, MaxBins: t.maxBins, NumClass: t.c}
-		t.aggHist = make(map[int32]*histogram.Hist)
-		t.hCols = make([]*sparse.BinnedCSC, t.w)
-		t.hI2N = make([]*index.InstanceToNode, t.w)
-		var prepErr error
-		t.cl.Parallel("prep.bin", func(w int) {
-			shard := t.ds.X.SliceRows(t.ranges[w][0], t.ranges[w][1])
-			binned, err := t.binner.BinCSR(shard)
-			if err != nil {
-				prepErr = err
-				return
-			}
-			t.hCols[w] = binned.ToCSC()
-			t.hI2N[w] = index.NewInstanceToNode(shard.Rows())
-			dataGauge.Set(w, binnedCSCBytes(t.hCols[w]))
-		})
-		return prepErr
-
-	case QD3:
-		t.groups = partition.GroupColumnsBalanced(featCount, t.w)
-		t.buildFeatureMaps()
-		t.vCols = make([]*sparse.BinnedCSC, t.w)
-		t.vNumBins = make([][]int, t.w)
-		t.vN2I = make([]*index.NodeToInstance, t.w)
-		t.vI2N = make([]*index.InstanceToNode, t.w)
-		t.vHist = make([]map[int32]*histogram.Hist, t.w)
-		t.vLayout = make([]histogram.Layout, t.w)
-		if t.cfg.ColumnIndex == IndexColumnWise {
-			t.vCW = make([]*index.ColumnWise, t.w)
-		}
-		var prepErr error
-		var shuffleBytes int64
-		t.cl.Parallel("prep.bin", func(w int) {
-			sub := t.ds.X.SelectColumns(t.groups[w])
-			subBinner := &sparse.Binner{Splits: make([][]float32, len(t.groups[w]))}
-			numBins := make([]int, len(t.groups[w]))
-			for slot, f := range t.groups[w] {
-				subBinner.Splits[slot] = t.binner.Splits[f]
-				numBins[slot] = len(t.binner.Splits[f])
-			}
-			binned, err := subBinner.BinCSR(sub)
-			if err != nil {
-				prepErr = err
-				return
-			}
-			t.vCols[w] = binned.ToCSC()
-			t.vNumBins[w] = numBins
-			t.vN2I[w] = index.NewNodeToInstance(t.n)
-			t.vI2N[w] = index.NewInstanceToNode(t.n)
-			t.vLayout[w] = histogram.Layout{NumFeat: len(t.groups[w]), MaxBins: t.maxBins, NumClass: t.c}
-			t.vHist[w] = make(map[int32]*histogram.Hist)
-			if t.vCW != nil {
-				colLens := make([]int, len(t.groups[w]))
-				for j := range colLens {
-					colLens[j] = t.vCols[w].ColNNZ(j)
-				}
-				t.vCW[w] = index.NewColumnWise(colLens)
-			}
-			dataGauge.Set(w, binnedCSCBytes(t.vCols[w])+int64(t.n)*4) // + broadcast labels
-		})
-		if prepErr != nil {
-			return prepErr
-		}
-		// Vertical repartition of the raw data, shipped as uncompressed
-		// key-value pairs (QD3 predates Vero's compact transformation).
-		shuffleBytes = int64(t.ds.X.NNZ()) * 12 * int64(t.w-1) / int64(t.w)
-		t.cl.ChargeComm("prep.repartition", cluster.OpShuffle, shuffleBytes, t.commSeconds(shuffleBytes, t.w-1))
-		// Labels are broadcast so every worker can compute gradients.
-		t.cl.Broadcast("prep.labels", int64(t.n)*4)
-		return nil
-
-	case QD4: // FullCopy (feature-parallel)
-		t.groups = partition.GroupColumnsBalanced(featCount, t.w)
-		t.buildFeatureMaps()
-		binned, err := t.binner.BinCSR(t.ds.X)
-		if err != nil {
-			return err
-		}
-		t.fullRows = binned
-		t.vN2I = make([]*index.NodeToInstance, t.w)
-		t.vHist = make([]map[int32]*histogram.Hist, t.w)
-		t.vLayout = make([]histogram.Layout, t.w)
-		t.vNumBins = make([][]int, t.w)
-		for w := 0; w < t.w; w++ {
-			t.vN2I[w] = index.NewNodeToInstance(t.n)
-			t.vLayout[w] = histogram.Layout{NumFeat: len(t.groups[w]), MaxBins: t.maxBins, NumClass: t.c}
-			t.vHist[w] = make(map[int32]*histogram.Hist)
-			numBins := make([]int, len(t.groups[w]))
-			for slot, f := range t.groups[w] {
-				numBins[slot] = len(t.binner.Splits[f])
-			}
-			t.vNumBins[w] = numBins
-			// Feature-parallel's defining cost: the whole dataset on
-			// every worker (Appendix D).
-			dataGauge.Set(w, binnedCSRBytes(binned)+int64(t.n)*4)
-		}
-		return nil
-	}
-	return fmt.Errorf("core: unhandled quadrant %v", t.cfg.Quadrant)
+	t.eng = eng
+	return t.eng.prepare()
 }
 
-// prepareVero runs the full horizontal-to-vertical transformation
-// (Section 4.2.1) and adopts its shards.
-func (t *trainer) prepareVero() error {
-	res, err := partition.Transform(t.cl, t.ds.X, t.ds.Labels, partition.Options{
-		Q:         t.cfg.Splits,
-		SketchEps: t.cfg.SketchEps,
-		Charge:    t.cfg.TransformCharge,
-	})
-	if err != nil {
-		return err
+// newEngine maps the configured quadrant to its strategy implementation.
+// Config.Quadrant is concrete here: QuadrantAuto was resolved by Train
+// before the trainer was assembled.
+func newEngine(t *trainer) (engine, error) {
+	switch t.cfg.Quadrant {
+	case QD1, QD2:
+		return &horizontalEngine{t: t}, nil
+	case QD3, QD4:
+		return &verticalEngine{t: t}, nil
 	}
-	t.binner = res.Binner
-	t.groups = res.Groups
-	t.shards = res.Shards
-	t.transformBytes = res.Bytes
-	t.buildFeatureMaps()
-	t.numBinsGlobal = make([]int, t.d)
-	for f := range t.binner.Splits {
-		t.numBinsGlobal[f] = len(t.binner.Splits[f])
-	}
+	return nil, fmt.Errorf("core: unhandled quadrant %v", t.cfg.Quadrant)
+}
+
+// checkMaxBins caches the binner's widest candidate-split count and
+// rejects datasets that admit no split at all.
+func (t *trainer) checkMaxBins() error {
 	t.maxBins = t.binner.MaxNumBins()
 	if t.maxBins < 2 {
 		return fmt.Errorf("core: dataset yields %d candidate splits; need >= 2", t.maxBins)
-	}
-	t.vN2I = make([]*index.NodeToInstance, t.w)
-	t.vHist = make([]map[int32]*histogram.Hist, t.w)
-	t.vLayout = make([]histogram.Layout, t.w)
-	t.vNumBins = make([][]int, t.w)
-	dataGauge := t.cl.Stats().Mem("data")
-	for w := 0; w < t.w; w++ {
-		t.vN2I[w] = index.NewNodeToInstance(t.n)
-		t.vLayout[w] = histogram.Layout{NumFeat: len(t.groups[w]), MaxBins: t.maxBins, NumClass: t.c}
-		t.vHist[w] = make(map[int32]*histogram.Hist)
-		t.vNumBins[w] = t.shards[w].NumBins
-		var blockBytes int64
-		for _, b := range t.shards[w].Data.Blocks {
-			blockBytes += int64(len(b.RowPtr))*8 + int64(b.NNZ())*6
-		}
-		dataGauge.Set(w, blockBytes+int64(t.n)*4)
 	}
 	return nil
 }
@@ -246,21 +95,6 @@ func (t *trainer) distributedSketch() ([]int64, error) {
 	}
 	t.cl.Broadcast("prep.sketch", splitBytes)
 	return featCount, nil
-}
-
-// buildFeatureMaps fills ownerOf and slotOf from groups.
-func (t *trainer) buildFeatureMaps() {
-	t.ownerOf = make([]int32, t.d)
-	t.slotOf = make([]int32, t.d)
-	for i := range t.ownerOf {
-		t.ownerOf[i] = -1
-	}
-	for g, feats := range t.groups {
-		for slot, f := range feats {
-			t.ownerOf[f] = int32(g)
-			t.slotOf[f] = int32(slot)
-		}
-	}
 }
 
 // commSeconds converts a byte volume into simulated seconds under the

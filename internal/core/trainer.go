@@ -4,9 +4,7 @@ import (
 	"vero/internal/cluster"
 	"vero/internal/datasets"
 	"vero/internal/histogram"
-	"vero/internal/index"
 	"vero/internal/loss"
-	"vero/internal/partition"
 	"vero/internal/sparse"
 	"vero/internal/tree"
 )
@@ -45,6 +43,10 @@ type resolvedSplit struct {
 	valid       bool
 }
 
+// trainer runs the quadrant-agnostic layer-wise boosting loop. Everything
+// quadrant-specific — data shards, node/instance indexes, histogram maps
+// and their memory accounting — lives behind the engine interface; the
+// trainer holds only state every policy shares.
 type trainer struct {
 	cl  *cluster.Cluster
 	cfg Config
@@ -56,47 +58,24 @@ type trainer struct {
 	// pool recycles histogram buffers across nodes, layers and trees; all
 	// histogram allocation in the training loop goes through it.
 	pool *histogram.Pool
-	// flatG/flatH are per-worker arena scratch for the routed column-scan
-	// kernel: one flat buffer pair holds every histogram a worker builds in
-	// a layer, reused (and re-zeroed) layer after layer.
-	flatG, flatH [][]float64
 
 	binner        *sparse.Binner
 	numBinsGlobal []int
 	maxBins       int
+	// ranges is the dataset's incoming horizontal layout: the row range
+	// each worker holds before any repartitioning. All quadrants sketch
+	// from it; the horizontal engine also trains on it.
+	ranges [][2]int
 
-	preds, grads, hessv []float64   // n*c, row-major
-	scratch             [][]float64 // per-worker redundant-compute buffers (vertical)
+	preds, grads, hessv []float64 // n*c, row-major
 
-	// Horizontal state (QD1/QD2).
-	ranges  [][2]int
-	hRows   []*sparse.BinnedCSR // QD2: per-worker row shards
-	hCols   []*sparse.BinnedCSC // QD1: per-worker column views of row shards
-	hN2I    []*index.NodeToInstance
-	hI2N    []*index.InstanceToNode
-	aggHist map[int32]*histogram.Hist
-	layoutH histogram.Layout
-
-	// Vertical state (QD3/QD4).
-	groups   [][]int
-	ownerOf  []int32             // global feature -> worker
-	slotOf   []int32             // global feature -> slot within its group
-	shards   []*partition.Shard  // QD4
-	fullRows *sparse.BinnedCSR   // QD4 FullCopy (feature-parallel)
-	vCols    []*sparse.BinnedCSC // QD3: per-worker full columns (slot-indexed)
-	vNumBins [][]int             // per worker, per slot
-	vN2I     []*index.NodeToInstance
-	vI2N     []*index.InstanceToNode // QD3 hybrid
-	vCW      []*index.ColumnWise     // QD3 column-wise (Yggdrasil)
-	vHist    []map[int32]*histogram.Hist
-	vLayout  []histogram.Layout
-
-	transformBytes partition.ByteReport
+	// eng is the quadrant strategy prep.go constructed for cfg.Quadrant.
+	eng engine
 }
 
-// allocRunState allocates the per-run prediction and gradient buffers
-// (plus the vertical quadrants' redundant-compute scratch), seeding every
-// instance's predictions with initScore.
+// allocRunState allocates the per-run prediction and gradient buffers,
+// seeding every instance's predictions with initScore, then lets the
+// engine allocate its own run scratch.
 func (t *trainer) allocRunState(initScore []float64) {
 	t.preds = make([]float64, t.n*t.c)
 	for i := 0; i < t.n; i++ {
@@ -104,12 +83,7 @@ func (t *trainer) allocRunState(initScore []float64) {
 	}
 	t.grads = make([]float64, t.n*t.c)
 	t.hessv = make([]float64, t.n*t.c)
-	if t.cfg.Quadrant.Vertical() {
-		t.scratch = make([][]float64, t.w)
-		for w := 1; w < t.w; w++ {
-			t.scratch[w] = make([]float64, t.n*t.c)
-		}
-	}
+	t.eng.beginRun()
 }
 
 func (t *trainer) run() (*Result, error) {
@@ -119,7 +93,7 @@ func (t *trainer) run() (*Result, error) {
 
 	prepComp, prepComm, _ := t.cl.Stats().Totals()
 	lastComp, lastComm := prepComp, prepComm
-	res := &Result{Forest: forest, PrepSeconds: prepComp + prepComm, TransformBytes: t.transformBytes}
+	res := &Result{Forest: forest, PrepSeconds: prepComp + prepComm, TransformBytes: t.eng.transformReport()}
 
 	for ti := 0; ti < t.cfg.Trees; ti++ {
 		t.computeGradients()
@@ -138,49 +112,25 @@ func (t *trainer) run() (*Result, error) {
 	// Release the final tree's remaining histograms (the last layer's
 	// split parents, kept for subtraction, are otherwise only cleared
 	// lazily at the next tree's start) so the memory gauge balances.
-	t.clearHists()
+	t.eng.clearHists()
 	comp, comm, _ := t.cl.Stats().Totals()
 	res.CompSeconds = comp
 	res.CommSeconds = comm
 	return res, nil
 }
 
-// computeGradients refreshes the per-instance gradient vectors. Horizontal
-// workers each process their own row range; vertical workers all process
-// every instance, because each needs the gradients of all instances to
-// build histograms for its feature subset (labels were broadcast for
-// exactly this purpose, Section 4.2.1 step 5).
-func (t *trainer) computeGradients() {
-	labels := t.ds.Labels
-	if t.cfg.Quadrant.Vertical() {
-		t.cl.Parallel(phaseGrad, func(w int) {
-			g, h := t.grads, t.hessv
-			if w != 0 {
-				g = t.scratch[w][:t.n*t.c]
-				h = t.scratch[w][:t.n*t.c] // same buffer: redundant work, discarded
-			}
-			for i := 0; i < t.n; i++ {
-				t.obj.GradHess(t.preds[i*t.c:(i+1)*t.c], labels[i], g[i*t.c:(i+1)*t.c], h[i*t.c:(i+1)*t.c])
-			}
-		})
-		return
-	}
-	t.cl.Parallel(phaseGrad, func(w int) {
-		lo, hi := t.ranges[w][0], t.ranges[w][1]
-		for i := lo; i < hi; i++ {
-			t.obj.GradHess(t.preds[i*t.c:(i+1)*t.c], labels[i], t.grads[i*t.c:(i+1)*t.c], t.hessv[i*t.c:(i+1)*t.c])
-		}
-	})
-}
+// computeGradients refreshes the per-instance gradient vectors with the
+// engine's work placement.
+func (t *trainer) computeGradients() { t.eng.computeGradients() }
 
 // trainTree grows one tree layer by layer.
 func (t *trainer) trainTree() *tree.Tree {
 	tr := tree.New(t.c)
-	t.resetIndexes()
-	t.clearHists()
+	t.eng.resetIndexes()
+	t.eng.clearHists()
 
 	root := &nodeInfo{id: tr.Root(), count: t.n, buildDirect: true, parent: noParent}
-	root.totalG, root.totalH = t.rootTotals()
+	root.totalG, root.totalH = t.eng.rootTotals()
 	frontier := []*nodeInfo{root}
 
 	for layer := 1; layer < t.cfg.Layers && len(frontier) > 0; layer++ {
@@ -192,16 +142,20 @@ func (t *trainer) trainTree() *tree.Tree {
 				toDerive = append(toDerive, nd)
 			}
 		}
-		t.buildHistograms(toBuild)
-		t.deriveHistograms(toDerive)
-		splits := t.findSplits(frontier)
+		if len(toBuild) > 0 {
+			t.eng.buildHistograms(toBuild)
+		}
+		if len(toDerive) > 0 {
+			t.eng.deriveHistograms(toDerive)
+		}
+		splits := t.eng.findSplits(frontier)
 		frontier = t.applySplits(tr, frontier, splits)
 	}
 	for _, nd := range frontier {
 		t.setLeaf(tr, nd)
-		t.dropHist(nd.id)
+		t.eng.dropHist(nd.id)
 	}
-	t.updatePredictions(tr)
+	t.eng.updatePredictions(tr)
 	return tr
 }
 
@@ -223,7 +177,7 @@ func (t *trainer) applySplits(tr *tree.Tree, frontier []*nodeInfo, splits map[in
 		sp, ok := splits[nd.id]
 		if !ok || !sp.valid {
 			t.setLeaf(tr, nd)
-			t.dropHist(nd.id)
+			t.eng.dropHist(nd.id)
 			continue
 		}
 		splitValue := t.binner.Splits[sp.feature][sp.bin]
@@ -240,12 +194,14 @@ func (t *trainer) applySplits(tr *tree.Tree, frontier []*nodeInfo, splits map[in
 		layerSplits[j.parent.id] = j.sp
 		children[j.parent.id] = [2]int32{j.left, j.right}
 	}
-	t.applyLayer(layerSplits, children)
+	t.eng.applyLayer(layerSplits, children)
 
-	// QD1 cannot exploit subtraction: drop parent histograms now.
-	if t.cfg.Quadrant == QD1 {
+	// Without subtraction, parent histograms have no further use: drop
+	// them now instead of carrying them to the next layer.
+	subtract := t.eng.usesSubtraction()
+	if !subtract {
 		for _, j := range jobs {
-			t.dropHist(j.parent.id)
+			t.eng.dropHist(j.parent.id)
 		}
 	}
 
@@ -255,12 +211,12 @@ func (t *trainer) applySplits(tr *tree.Tree, frontier []*nodeInfo, splits map[in
 		right := &nodeInfo{id: j.right, parent: j.parent.id}
 		next = append(next, left, right)
 	}
-	t.childStats(next)
+	t.eng.childStats(next)
 	// Histogram subtraction schedule: build the smaller child, derive the
 	// sibling (Section 2.1.2). Without subtraction both children build.
 	for i := 0; i < len(next); i += 2 {
 		l, r := next[i], next[i+1]
-		if t.cfg.Quadrant == QD1 {
+		if !subtract {
 			l.buildDirect, r.buildDirect = true, true
 			continue
 		}
@@ -271,187 +227,4 @@ func (t *trainer) applySplits(tr *tree.Tree, frontier []*nodeInfo, splits map[in
 		}
 	}
 	return next
-}
-
-// histMapFor abstracts over the aggregated map (horizontal) and the
-// per-worker maps (vertical).
-func (t *trainer) clearHists() {
-	g := t.cl.Stats().Mem("histogram")
-	if t.cfg.Quadrant.Vertical() {
-		for w := range t.vHist {
-			for id, h := range t.vHist[w] {
-				g.Add(w, -t.vLayout[w].SizeBytes())
-				t.pool.Put(h)
-				delete(t.vHist[w], id)
-			}
-		}
-		return
-	}
-	for id, h := range t.aggHist {
-		for w := 0; w < t.w; w++ {
-			g.Add(w, -t.layoutH.SizeBytes())
-		}
-		t.pool.Put(h)
-		delete(t.aggHist, id)
-	}
-}
-
-func (t *trainer) dropHist(id int32) {
-	g := t.cl.Stats().Mem("histogram")
-	if t.cfg.Quadrant.Vertical() {
-		for w := range t.vHist {
-			if h, ok := t.vHist[w][id]; ok {
-				g.Add(w, -t.vLayout[w].SizeBytes())
-				t.pool.Put(h)
-				delete(t.vHist[w], id)
-			}
-		}
-		return
-	}
-	if h, ok := t.aggHist[id]; ok {
-		for w := 0; w < t.w; w++ {
-			g.Add(w, -t.layoutH.SizeBytes())
-		}
-		t.pool.Put(h)
-		delete(t.aggHist, id)
-	}
-}
-
-// deriveHistograms computes each node's histogram as parent minus built
-// sibling, reusing the parent's storage (the parent entry is consumed).
-func (t *trainer) deriveHistograms(toDerive []*nodeInfo) {
-	if len(toDerive) == 0 {
-		return
-	}
-	if t.cfg.Quadrant.Vertical() {
-		t.cl.Parallel(phaseHist, func(w int) {
-			hm := t.vHist[w]
-			for _, nd := range toDerive {
-				parent := hm[nd.parent]
-				sibling := hm[siblingOf(nd)]
-				parent.Sub(sibling)
-				hm[nd.id] = parent
-				delete(hm, nd.parent)
-			}
-		})
-		return
-	}
-	t.cl.Parallel(phaseHist, func(w int) {
-		if w != 0 {
-			return // aggregated histograms are logically replicated; derive once
-		}
-		for _, nd := range toDerive {
-			parent := t.aggHist[nd.parent]
-			sibling := t.aggHist[siblingOf(nd)]
-			parent.Sub(sibling)
-			t.aggHist[nd.id] = parent
-			delete(t.aggHist, nd.parent)
-		}
-	})
-}
-
-// flatScratch returns worker w's zeroed arena scratch of n floats per
-// side, growing the buffers when a layer needs more histogram slots than
-// any before it.
-func (t *trainer) flatScratch(w, n int) (g, h []float64) {
-	if cap(t.flatG[w]) < n {
-		t.flatG[w] = make([]float64, n)
-		t.flatH[w] = make([]float64, n)
-	} else {
-		t.flatG[w] = t.flatG[w][:n]
-		t.flatH[w] = t.flatH[w][:n]
-		clear(t.flatG[w])
-		clear(t.flatH[w])
-	}
-	return t.flatG[w], t.flatH[w]
-}
-
-// siblingOf returns the sibling's node id: children are always created in
-// pairs (left = parent's recorded left child).
-func siblingOf(nd *nodeInfo) int32 {
-	// Children pairs are allocated adjacently by tree.Split: left is even
-	// offset, right = left+1. The derive node's sibling is the adjacent id.
-	if nd.id%2 == 1 { // left children have odd ids (root=0, then 1,2,3,4...)
-		return nd.id + 1
-	}
-	return nd.id - 1
-}
-
-// dispatch methods — quadrant-specific implementations live in
-// horizontal.go and vertical.go.
-
-func (t *trainer) resetIndexes() {
-	switch t.cfg.Quadrant {
-	case QD1:
-		for _, idx := range t.hI2N {
-			idx.Reset()
-		}
-	case QD2:
-		for _, idx := range t.hN2I {
-			idx.Reset()
-		}
-	case QD3:
-		for _, idx := range t.vN2I {
-			idx.Reset()
-		}
-		for _, idx := range t.vI2N {
-			idx.Reset()
-		}
-		for _, idx := range t.vCW {
-			idx.Reset()
-		}
-	case QD4:
-		for _, idx := range t.vN2I {
-			idx.Reset()
-		}
-	}
-}
-
-func (t *trainer) rootTotals() ([]float64, []float64) {
-	if t.cfg.Quadrant.Vertical() {
-		return t.verticalRootTotals()
-	}
-	return t.horizontalRootTotals()
-}
-
-func (t *trainer) buildHistograms(toBuild []*nodeInfo) {
-	if len(toBuild) == 0 {
-		return
-	}
-	if t.cfg.Quadrant.Vertical() {
-		t.verticalBuildHistograms(toBuild)
-		return
-	}
-	t.horizontalBuildHistograms(toBuild)
-}
-
-func (t *trainer) findSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
-	if t.cfg.Quadrant.Vertical() {
-		return t.verticalFindSplits(frontier)
-	}
-	return t.horizontalFindSplits(frontier)
-}
-
-func (t *trainer) applyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
-	if t.cfg.Quadrant.Vertical() {
-		t.verticalApplyLayer(splits, children)
-		return
-	}
-	t.horizontalApplyLayer(splits, children)
-}
-
-func (t *trainer) childStats(nodes []*nodeInfo) {
-	if t.cfg.Quadrant.Vertical() {
-		t.verticalChildStats(nodes)
-		return
-	}
-	t.horizontalChildStats(nodes)
-}
-
-func (t *trainer) updatePredictions(tr *tree.Tree) {
-	if t.cfg.Quadrant.Vertical() {
-		t.verticalUpdatePredictions(tr)
-		return
-	}
-	t.horizontalUpdatePredictions(tr)
 }

@@ -4,16 +4,282 @@ import (
 	"math/bits"
 
 	"vero/internal/bitmap"
+	"vero/internal/cluster"
 	"vero/internal/histogram"
+	"vero/internal/index"
+	"vero/internal/partition"
+	"vero/internal/sparse"
 	"vero/internal/tree"
 )
 
-// Vertical quadrants (QD3: column-store; QD4: row-store — Vero). Workers
-// hold complete columns for disjoint feature subsets, find local best
-// splits without histogram aggregation, and broadcast instance placements
-// as one bitmap per layer (Figure 4(b)).
+// verticalEngine implements the vertical quadrants (QD3: column-store;
+// QD4: row-store — Vero). Workers hold complete columns for disjoint
+// feature subsets, find local best splits without histogram aggregation,
+// and broadcast instance placements as one bitmap per layer (Figure 4(b)).
+type verticalEngine struct {
+	t *trainer
 
-func (t *trainer) verticalRootTotals() ([]float64, []float64) {
+	groups   [][]int
+	ownerOf  []int32             // global feature -> worker
+	slotOf   []int32             // global feature -> slot within its group
+	shards   []*partition.Shard  // QD4
+	fullRows *sparse.BinnedCSR   // QD4 FullCopy (feature-parallel)
+	cols     []*sparse.BinnedCSC // QD3: per-worker full columns (slot-indexed)
+	numBins  [][]int             // per worker, per slot
+	n2i      []*index.NodeToInstance
+	i2n      []*index.InstanceToNode // QD3 hybrid
+	cw       []*index.ColumnWise     // QD3 column-wise (Yggdrasil)
+	hist     []map[int32]*histogram.Hist
+	layout   []histogram.Layout
+
+	// scratch holds the non-leader workers' redundant-compute gradient
+	// buffers: every worker computes all gradients (Section 4.2.1 step 5),
+	// but only worker 0's land in the trainer's shared vectors.
+	scratch [][]float64
+
+	transformBytes partition.ByteReport
+}
+
+// prepare materializes the vertical layout: QD4 runs the paper's
+// horizontal-to-vertical transformation, QD3 repartitions raw columns, and
+// feature-parallel keeps a full copy per worker.
+func (e *verticalEngine) prepare() error {
+	t := e.t
+	if t.cfg.Quadrant == QD4 && !t.cfg.FullCopy {
+		return e.prepareVero()
+	}
+	featCount, err := t.distributedSketch()
+	if err != nil {
+		return err
+	}
+	if err := t.checkMaxBins(); err != nil {
+		return err
+	}
+	e.groups = partition.GroupColumnsBalanced(featCount, t.w)
+	e.buildFeatureMaps()
+	dataGauge := t.cl.Stats().Mem("data")
+
+	if t.cfg.Quadrant == QD3 {
+		e.cols = make([]*sparse.BinnedCSC, t.w)
+		e.numBins = make([][]int, t.w)
+		e.n2i = make([]*index.NodeToInstance, t.w)
+		e.i2n = make([]*index.InstanceToNode, t.w)
+		e.hist = make([]map[int32]*histogram.Hist, t.w)
+		e.layout = make([]histogram.Layout, t.w)
+		if t.cfg.ColumnIndex == IndexColumnWise {
+			e.cw = make([]*index.ColumnWise, t.w)
+		}
+		errs := make([]error, t.w)
+		t.cl.Parallel("prep.bin", func(w int) {
+			sub := t.ds.X.SelectColumns(e.groups[w])
+			subBinner := &sparse.Binner{Splits: make([][]float32, len(e.groups[w]))}
+			numBins := make([]int, len(e.groups[w]))
+			for slot, f := range e.groups[w] {
+				subBinner.Splits[slot] = t.binner.Splits[f]
+				numBins[slot] = len(t.binner.Splits[f])
+			}
+			binned, err := subBinner.BinCSR(sub)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			e.cols[w] = binned.ToCSC()
+			e.numBins[w] = numBins
+			e.n2i[w] = index.NewNodeToInstance(t.n)
+			e.i2n[w] = index.NewInstanceToNode(t.n)
+			e.layout[w] = histogram.Layout{NumFeat: len(e.groups[w]), MaxBins: t.maxBins, NumClass: t.c}
+			e.hist[w] = make(map[int32]*histogram.Hist)
+			if e.cw != nil {
+				colLens := make([]int, len(e.groups[w]))
+				for j := range colLens {
+					colLens[j] = e.cols[w].ColNNZ(j)
+				}
+				e.cw[w] = index.NewColumnWise(colLens)
+			}
+			dataGauge.Set(w, binnedCSCBytes(e.cols[w])+int64(t.n)*4) // + broadcast labels
+		})
+		if err := cluster.FirstError(errs); err != nil {
+			return err
+		}
+		// Vertical repartition of the raw data, shipped as uncompressed
+		// key-value pairs (QD3 predates Vero's compact transformation).
+		shuffleBytes := int64(t.ds.X.NNZ()) * 12 * int64(t.w-1) / int64(t.w)
+		t.cl.ChargeComm("prep.repartition", cluster.OpShuffle, shuffleBytes, t.commSeconds(shuffleBytes, t.w-1))
+		// Labels are broadcast so every worker can compute gradients.
+		t.cl.Broadcast("prep.labels", int64(t.n)*4)
+		return nil
+	}
+
+	// QD4 FullCopy (feature-parallel).
+	binned, err := t.binner.BinCSR(t.ds.X)
+	if err != nil {
+		return err
+	}
+	e.fullRows = binned
+	e.n2i = make([]*index.NodeToInstance, t.w)
+	e.hist = make([]map[int32]*histogram.Hist, t.w)
+	e.layout = make([]histogram.Layout, t.w)
+	e.numBins = make([][]int, t.w)
+	for w := 0; w < t.w; w++ {
+		e.n2i[w] = index.NewNodeToInstance(t.n)
+		e.layout[w] = histogram.Layout{NumFeat: len(e.groups[w]), MaxBins: t.maxBins, NumClass: t.c}
+		e.hist[w] = make(map[int32]*histogram.Hist)
+		numBins := make([]int, len(e.groups[w]))
+		for slot, f := range e.groups[w] {
+			numBins[slot] = len(t.binner.Splits[f])
+		}
+		e.numBins[w] = numBins
+		// Feature-parallel's defining cost: the whole dataset on
+		// every worker (Appendix D).
+		dataGauge.Set(w, binnedCSRBytes(binned)+int64(t.n)*4)
+	}
+	return nil
+}
+
+// prepareVero runs the full horizontal-to-vertical transformation
+// (Section 4.2.1) and adopts its shards.
+func (e *verticalEngine) prepareVero() error {
+	t := e.t
+	res, err := partition.Transform(t.cl, t.ds.X, t.ds.Labels, partition.Options{
+		Q:         t.cfg.Splits,
+		SketchEps: t.cfg.SketchEps,
+		Charge:    t.cfg.TransformCharge,
+	})
+	if err != nil {
+		return err
+	}
+	t.binner = res.Binner
+	e.groups = res.Groups
+	e.shards = res.Shards
+	e.transformBytes = res.Bytes
+	e.buildFeatureMaps()
+	t.numBinsGlobal = make([]int, t.d)
+	for f := range t.binner.Splits {
+		t.numBinsGlobal[f] = len(t.binner.Splits[f])
+	}
+	if err := t.checkMaxBins(); err != nil {
+		return err
+	}
+	e.n2i = make([]*index.NodeToInstance, t.w)
+	e.hist = make([]map[int32]*histogram.Hist, t.w)
+	e.layout = make([]histogram.Layout, t.w)
+	e.numBins = make([][]int, t.w)
+	dataGauge := t.cl.Stats().Mem("data")
+	for w := 0; w < t.w; w++ {
+		e.n2i[w] = index.NewNodeToInstance(t.n)
+		e.layout[w] = histogram.Layout{NumFeat: len(e.groups[w]), MaxBins: t.maxBins, NumClass: t.c}
+		e.hist[w] = make(map[int32]*histogram.Hist)
+		e.numBins[w] = e.shards[w].NumBins
+		var blockBytes int64
+		for _, b := range e.shards[w].Data.Blocks {
+			blockBytes += int64(len(b.RowPtr))*8 + int64(b.NNZ())*6
+		}
+		dataGauge.Set(w, blockBytes+int64(t.n)*4)
+	}
+	return nil
+}
+
+// buildFeatureMaps fills ownerOf and slotOf from groups.
+func (e *verticalEngine) buildFeatureMaps() {
+	e.ownerOf = make([]int32, e.t.d)
+	e.slotOf = make([]int32, e.t.d)
+	for i := range e.ownerOf {
+		e.ownerOf[i] = -1
+	}
+	for g, feats := range e.groups {
+		for slot, f := range feats {
+			e.ownerOf[f] = int32(g)
+			e.slotOf[f] = int32(slot)
+		}
+	}
+}
+
+// beginRun allocates the redundant-compute gradient scratch of the
+// non-leader workers.
+func (e *verticalEngine) beginRun() {
+	t := e.t
+	e.scratch = make([][]float64, t.w)
+	for w := 1; w < t.w; w++ {
+		e.scratch[w] = make([]float64, t.n*t.c)
+	}
+}
+
+// usesSubtraction implements engine: both vertical quadrants keep
+// per-node local histograms, so siblings derive by subtraction.
+func (e *verticalEngine) usesSubtraction() bool { return true }
+
+// transformReport implements engine.
+func (e *verticalEngine) transformReport() partition.ByteReport { return e.transformBytes }
+
+// computeGradients has every worker process every instance, because each
+// needs the gradients of all instances to build histograms for its
+// feature subset (labels were broadcast for exactly this purpose,
+// Section 4.2.1 step 5).
+func (e *verticalEngine) computeGradients() {
+	t := e.t
+	labels := t.ds.Labels
+	t.cl.Parallel(phaseGrad, func(w int) {
+		g, h := t.grads, t.hessv
+		if w != 0 {
+			g = e.scratch[w][:t.n*t.c]
+			h = e.scratch[w][:t.n*t.c] // same buffer: redundant work, discarded
+		}
+		for i := 0; i < t.n; i++ {
+			t.obj.GradHess(t.preds[i*t.c:(i+1)*t.c], labels[i], g[i*t.c:(i+1)*t.c], h[i*t.c:(i+1)*t.c])
+		}
+	})
+}
+
+func (e *verticalEngine) resetIndexes() {
+	for _, idx := range e.n2i {
+		idx.Reset()
+	}
+	for _, idx := range e.i2n {
+		idx.Reset()
+	}
+	for _, idx := range e.cw {
+		idx.Reset()
+	}
+}
+
+func (e *verticalEngine) clearHists() {
+	// dropHist releases id on every worker; subtraction can leave worker
+	// maps holding different id sets, so sweep each worker's keys.
+	for w := range e.hist {
+		for id := range e.hist[w] {
+			e.dropHist(id)
+		}
+	}
+}
+
+func (e *verticalEngine) dropHist(id int32) {
+	g := e.t.cl.Stats().Mem("histogram")
+	for w := range e.hist {
+		if h, ok := e.hist[w][id]; ok {
+			g.Add(w, -e.layout[w].SizeBytes())
+			e.t.pool.Put(h)
+			delete(e.hist[w], id)
+		}
+	}
+}
+
+// deriveHistograms computes each node's histogram as parent minus built
+// sibling, reusing the parent's storage (the parent entry is consumed).
+func (e *verticalEngine) deriveHistograms(toDerive []*nodeInfo) {
+	e.t.cl.Parallel(phaseHist, func(w int) {
+		hm := e.hist[w]
+		for _, nd := range toDerive {
+			parent := hm[nd.parent]
+			sibling := hm[siblingOf(nd)]
+			parent.Sub(sibling)
+			hm[nd.id] = parent
+			delete(hm, nd.parent)
+		}
+	})
+}
+
+func (e *verticalEngine) rootTotals() ([]float64, []float64) {
+	t := e.t
 	g := make([]float64, t.c)
 	h := make([]float64, t.c)
 	t.cl.Parallel(phaseGrad, func(w int) {
@@ -44,43 +310,35 @@ func (t *trainer) verticalRootTotals() ([]float64, []float64) {
 	return g, h
 }
 
-// rowOf returns the (slot, bin) pairs of one instance on one worker for
-// the row-store quadrants (QD4 and feature-parallel).
-func (t *trainer) rowBins(w int, inst uint32) (feat []uint32, bin []uint16) {
-	if t.cfg.FullCopy {
-		return t.fullRows.Row(int(inst))
-	}
-	return t.shards[w].Data.Row(int(inst))
-}
-
-func (t *trainer) verticalBuildHistograms(toBuild []*nodeInfo) {
+func (e *verticalEngine) buildHistograms(toBuild []*nodeInfo) {
+	t := e.t
 	mem := t.cl.Stats().Mem("histogram")
 	t.cl.Parallel(phaseHist, func(w int) {
 		hs := make([]*histogram.Hist, len(toBuild))
 		for i := range hs {
-			hs[i] = t.pool.Get(t.vLayout[w])
-			mem.Add(w, t.vLayout[w].SizeBytes())
+			hs[i] = t.pool.Get(e.layout[w])
+			mem.Add(w, e.layout[w].SizeBytes())
 		}
 		switch {
 		case t.cfg.Quadrant == QD4 && !t.cfg.FullCopy:
 			for i, nd := range toBuild {
-				t.buildRowStore(w, nd, hs[i])
+				e.buildRowStore(w, nd, hs[i])
 			}
 		case t.cfg.Quadrant == QD4: // feature-parallel full copy
 			for i, nd := range toBuild {
-				t.buildFullCopy(w, nd, hs[i])
+				e.buildFullCopy(w, nd, hs[i])
 			}
 		case t.cfg.ColumnIndex == IndexColumnWise:
 			for i, nd := range toBuild {
-				t.buildColumnWise(w, nd, hs[i])
+				e.buildColumnWise(w, nd, hs[i])
 			}
 		default:
 			for i, nd := range toBuild {
-				t.buildHybrid(w, nd, hs[i])
+				e.buildHybrid(w, nd, hs[i])
 			}
 		}
 		for i, nd := range toBuild {
-			t.vHist[w][nd.id] = hs[i]
+			e.hist[w][nd.id] = hs[i]
 		}
 	})
 }
@@ -92,10 +350,11 @@ func (t *trainer) verticalBuildHistograms(toBuild []*nodeInfo) {
 // contiguous ascending row ranges, so the scan runs the fused row-scan
 // kernel once per block segment instead of resolving every row through a
 // per-instance block lookup.
-func (t *trainer) buildRowStore(w int, nd *nodeInfo, h *histogram.Hist) {
-	insts := t.vN2I[w].Instances(nd.id)
+func (e *verticalEngine) buildRowStore(w int, nd *nodeInfo, h *histogram.Hist) {
+	t := e.t
+	insts := e.n2i[w].Instances(nd.id)
 	k := 0
-	for _, b := range t.shards[w].Data.Blocks {
+	for _, b := range e.shards[w].Data.Blocks {
 		if k == len(insts) {
 			break
 		}
@@ -110,16 +369,18 @@ func (t *trainer) buildRowStore(w int, nd *nodeInfo, h *histogram.Hist) {
 
 // buildFullCopy scans full rows but accumulates only the worker's assigned
 // features — LightGBM feature-parallel (Appendix D).
-func (t *trainer) buildFullCopy(w int, nd *nodeInfo, h *histogram.Hist) {
-	h.RowScanOwned(t.vN2I[w].Instances(nd.id), t.fullRows.RowPtr, t.fullRows.Feat, t.fullRows.Bin,
-		t.ownerOf, t.slotOf, int32(w), t.grads, t.hessv)
+func (e *verticalEngine) buildFullCopy(w int, nd *nodeInfo, h *histogram.Hist) {
+	t := e.t
+	h.RowScanOwned(e.n2i[w].Instances(nd.id), e.fullRows.RowPtr, e.fullRows.Feat, e.fullRows.Bin,
+		e.ownerOf, e.slotOf, int32(w), t.grads, t.hessv)
 }
 
 // buildColumnWise reads each column's node entries directly from the
 // column-wise node-to-instance index (Yggdrasil's plan).
-func (t *trainer) buildColumnWise(w int, nd *nodeInfo, h *histogram.Hist) {
-	cols := t.vCols[w]
-	cw := t.vCW[w]
+func (e *verticalEngine) buildColumnWise(w int, nd *nodeInfo, h *histogram.Hist) {
+	t := e.t
+	cols := e.cols[w]
+	cw := e.cw[w]
 	for j := 0; j < cols.Cols(); j++ {
 		insts, binsArr := cols.Col(j)
 		h.ColumnGather(j, cw.Entries(j, nd.id), insts, binsArr, t.grads, t.hessv)
@@ -134,10 +395,11 @@ func (t *trainer) buildColumnWise(w int, nd *nodeInfo, h *histogram.Hist) {
 // column-store index cost), which a multi-node routed pass only makes
 // heavier — measured, routing every entry through a node-to-slot table
 // costs more than the filter scans it replaces.
-func (t *trainer) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
-	cols := t.vCols[w]
-	nodeOf := t.vI2N[w].Assignments()
-	nodeInsts := t.vN2I[w].Instances(nd.id)
+func (e *verticalEngine) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
+	t := e.t
+	cols := e.cols[w]
+	nodeOf := e.i2n[w].Assignments()
+	nodeInsts := e.n2i[w].Instances(nd.id)
 	for j := 0; j < cols.Cols(); j++ {
 		insts, binsArr := cols.Col(j)
 		colLen := len(insts)
@@ -160,14 +422,15 @@ func (t *trainer) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
 	}
 }
 
-// verticalFindSplits has each worker find the best split over its own
-// feature subset, then exchanges the local bests (Section 2.2.1).
-func (t *trainer) verticalFindSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
+// findSplits has each worker find the best split over its own feature
+// subset, then exchanges the local bests (Section 2.2.1).
+func (e *verticalEngine) findSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
+	t := e.t
 	bests := make([]map[int32]histogram.Split, t.w)
 	t.cl.Parallel(phaseSplit, func(w int) {
 		m := make(map[int32]histogram.Split, len(frontier))
 		for _, nd := range frontier {
-			m[nd.id] = t.finder.FindBest(t.vHist[w][nd.id], nd.totalG, nd.totalH, t.vNumBins[w])
+			m[nd.id] = t.finder.FindBest(e.hist[w][nd.id], nd.totalG, nd.totalH, e.numBins[w])
 		}
 		bests[w] = m
 	})
@@ -180,7 +443,7 @@ func (t *trainer) verticalFindSplits(frontier []*nodeInfo) map[int32]resolvedSpl
 			if !s.Valid {
 				continue
 			}
-			s.Feature = t.groups[w][s.Feature] // slot -> global id
+			s.Feature = e.groups[w][s.Feature] // slot -> global id
 			if histogram.Prefer(s, best) {
 				best = s
 			}
@@ -191,17 +454,18 @@ func (t *trainer) verticalFindSplits(frontier []*nodeInfo) map[int32]resolvedSpl
 	return out
 }
 
-// verticalApplyLayer computes instance placements at the split owners,
-// broadcasts them as one N-bit bitmap per layer (Section 3.1.3), and
-// updates every worker's indexes. Feature-parallel skips the broadcast:
-// every worker evaluates placements on its full copy.
-func (t *trainer) verticalApplyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+// applyLayer computes instance placements at the split owners, broadcasts
+// them as one N-bit bitmap per layer (Section 3.1.3), and updates every
+// worker's indexes. Feature-parallel skips the broadcast: every worker
+// evaluates placements on its full copy.
+func (e *verticalEngine) applyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+	t := e.t
 	if t.cfg.FullCopy {
 		t.cl.Parallel(phaseNode, func(w int) {
 			for parent, ch := range children {
 				sp := splits[parent]
-				t.vN2I[w].Split(parent, ch[0], ch[1], func(inst uint32) bool {
-					feats, binsArr := t.fullRows.Row(int(inst))
+				e.n2i[w].Split(parent, ch[0], ch[1], func(inst uint32) bool {
+					feats, binsArr := e.fullRows.Row(int(inst))
 					bin, ok := lookupBin(feats, binsArr, uint32(sp.feature))
 					if !ok {
 						return sp.defaultLeft
@@ -220,10 +484,10 @@ func (t *trainer) verticalApplyLayer(splits map[int32]resolvedSplit, children ma
 		bm := bitmap.New(t.n)
 		for parent := range children {
 			sp := splits[parent]
-			if t.ownerOf[sp.feature] != int32(w) {
+			if e.ownerOf[sp.feature] != int32(w) {
 				continue
 			}
-			t.fillPlacement(w, parent, sp, bm)
+			e.fillPlacement(w, parent, sp, bm)
 		}
 		parts[w] = bm
 	})
@@ -240,33 +504,33 @@ func (t *trainer) verticalApplyLayer(splits map[int32]resolvedSplit, children ma
 	goesLeft := func(inst uint32) bool { return placement.Get(int(inst)) }
 	t.cl.Parallel(phaseNode, func(w int) {
 		for parent, ch := range children {
-			t.vN2I[w].Split(parent, ch[0], ch[1], goesLeft)
+			e.n2i[w].Split(parent, ch[0], ch[1], goesLeft)
 			if t.cfg.Quadrant == QD3 && t.cfg.ColumnIndex == IndexColumnWise {
-				cols := t.vCols[w]
-				t.vCW[w].Split(parent, ch[0], ch[1], goesLeft, func(col int, pos uint32) uint32 {
+				cols := e.cols[w]
+				e.cw[w].Split(parent, ch[0], ch[1], goesLeft, func(col int, pos uint32) uint32 {
 					insts, _ := cols.Col(col)
 					return insts[pos]
 				})
 			}
 		}
 		if t.cfg.Quadrant == QD3 {
-			t.vI2N[w].SplitLayer(children, goesLeft)
+			e.i2n[w].SplitLayer(children, goesLeft)
 		}
 	})
 }
 
 // fillPlacement writes the left/right bits of one splitting node, owned by
 // worker w (set bit = left child).
-func (t *trainer) fillPlacement(w int, parent int32, sp resolvedSplit, bm *bitmap.Bitmap) {
-	insts := t.vN2I[w].Instances(parent)
+func (e *verticalEngine) fillPlacement(w int, parent int32, sp resolvedSplit, bm *bitmap.Bitmap) {
+	insts := e.n2i[w].Instances(parent)
 	if sp.defaultLeft {
 		for _, inst := range insts {
 			bm.Set(int(inst))
 		}
 	}
-	slot := int(t.slotOf[sp.feature])
-	if t.cfg.Quadrant == QD4 {
-		data := t.shards[w].Data
+	slot := int(e.slotOf[sp.feature])
+	if e.t.cfg.Quadrant == QD4 {
+		data := e.shards[w].Data
 		for _, inst := range insts {
 			feats, binsArr := data.Row(int(inst))
 			bin, ok := lookupBin(feats, binsArr, uint32(slot))
@@ -279,8 +543,8 @@ func (t *trainer) fillPlacement(w int, parent int32, sp resolvedSplit, bm *bitma
 	}
 	// QD3: the owner holds the split feature's full column; one linear
 	// pass with node-membership checks places every present value.
-	insts2, binsArr := t.vCols[w].Col(slot)
-	i2n := t.vI2N[w]
+	insts2, binsArr := e.cols[w].Col(slot)
+	i2n := e.i2n[w]
 	for k, inst := range insts2 {
 		if i2n.Node(inst) != parent {
 			continue
@@ -289,16 +553,17 @@ func (t *trainer) fillPlacement(w int, parent int32, sp resolvedSplit, bm *bitma
 	}
 }
 
-// verticalChildStats recomputes child totals from the (identical)
-// per-worker gradient copies; worker 0's result is adopted.
-func (t *trainer) verticalChildStats(nodes []*nodeInfo) {
+// childStats recomputes child totals from the (identical) per-worker
+// gradient copies; worker 0's result is adopted.
+func (e *verticalEngine) childStats(nodes []*nodeInfo) {
+	t := e.t
 	stride := 2 * t.c
 	sums := make([]float64, stride*len(nodes))
 	counts := make([]int, len(nodes))
 	t.cl.Parallel(phaseNode, func(w int) {
 		local := make([]float64, stride*len(nodes))
 		for i, nd := range nodes {
-			insts := t.vN2I[w].Instances(nd.id)
+			insts := e.n2i[w].Instances(nd.id)
 			o := i * stride
 			if t.c == 1 {
 				var g, h float64
@@ -332,22 +597,23 @@ func (t *trainer) verticalChildStats(nodes []*nodeInfo) {
 	}
 }
 
-// verticalUpdatePredictions applies leaf weights through the (identical)
+// updatePredictions applies leaf weights through the (identical)
 // node-to-instance indexes; every worker performs the update on its own
 // prediction copy.
-func (t *trainer) verticalUpdatePredictions(tr *tree.Tree) {
+func (e *verticalEngine) updatePredictions(tr *tree.Tree) {
+	t := e.t
 	eta := t.cfg.LearningRate
 	t.cl.Parallel(phaseUpdate, func(w int) {
 		preds := t.preds
 		if w != 0 {
-			preds = t.scratch[w]
+			preds = e.scratch[w]
 		}
 		for id := range tr.Nodes {
 			n := &tr.Nodes[id]
 			if !n.IsLeaf() {
 				continue
 			}
-			for _, inst := range t.vN2I[w].Instances(int32(id)) {
+			for _, inst := range e.n2i[w].Instances(int32(id)) {
 				gi := int(inst) * t.c
 				for k := 0; k < t.c; k++ {
 					preds[gi+k] += eta * n.Weights[k]

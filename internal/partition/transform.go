@@ -279,7 +279,9 @@ func Transform(cl *cluster.Cluster, x *sparse.CSR, labels []float32, opts Option
 	// Assemble shards: sort received blocks by source offset (they are
 	// contiguous row ranges) and merge down to MaxBlocks.
 	shards := make([]*Shard, w)
-	var shardErr error
+	// Per-worker error slots: each worker writes only its own, so the
+	// assembly stays race-free on a concurrent cluster.
+	shardErrs := make([]error, w)
 	cl.Parallel("transform.assemble", func(dst int) {
 		recv := make([]*Block, 0, w)
 		for src := 0; src < w; src++ {
@@ -287,7 +289,7 @@ func Transform(cl *cluster.Cluster, x *sparse.CSR, labels []float32, opts Option
 		}
 		bs, err := NewBlockSet(recv)
 		if err != nil {
-			shardErr = err
+			shardErrs[dst] = err
 			return
 		}
 		bs.Merge(opts.MaxBlocks)
@@ -303,8 +305,8 @@ func Transform(cl *cluster.Cluster, x *sparse.CSR, labels []float32, opts Option
 			Labels:   labels,
 		}
 	})
-	if shardErr != nil {
-		return nil, shardErr
+	if err := cluster.FirstError(shardErrs); err != nil {
+		return nil, err
 	}
 	return &Result{Groups: groups, Binner: binner, Shards: shards, Bytes: report}, nil
 }

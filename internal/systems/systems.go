@@ -69,18 +69,39 @@ func Describe(s System) string {
 	}
 }
 
+// ForQuadrant returns the quadrant's reference system — the named system
+// occupying that quadrant of Figure 1 (the same mapping the trainer's
+// auto-quadrant selection applies to the advisor's recommendation).
+func ForQuadrant(q core.Quadrant) (System, error) {
+	switch q {
+	case core.QD1:
+		return XGBoost, nil
+	case core.QD2:
+		return LightGBM, nil
+	case core.QD3:
+		return QD3Hybrid, nil
+	case core.QD4:
+		return Vero, nil
+	}
+	return "", fmt.Errorf("systems: no reference system for quadrant %v", q)
+}
+
 // Configure specializes a base configuration (hyper-parameters only) to
 // the named system's data-management policy. It rejects workloads the real
 // system cannot run, e.g. DimBoost with multi-classification.
 func Configure(s System, base core.Config, ds *datasets.Dataset) (core.Config, error) {
 	cfg := base
 	switch s {
+	// The quadrant reference systems share core's single copy of the
+	// quadrant-to-policy mapping with auto-quadrant selection.
 	case XGBoost:
-		cfg.Quadrant = core.QD1
-		cfg.Aggregation = core.AggAllReduce
+		return core.ConfigureQuadrant(core.QD1, cfg)
 	case LightGBM:
-		cfg.Quadrant = core.QD2
-		cfg.Aggregation = core.AggReduceScatter
+		return core.ConfigureQuadrant(core.QD2, cfg)
+	case QD3Hybrid:
+		return core.ConfigureQuadrant(core.QD3, cfg)
+	case Vero:
+		return core.ConfigureQuadrant(core.QD4, cfg)
 	case LightGBMFP:
 		cfg.Quadrant = core.QD4
 		cfg.FullCopy = true
@@ -93,12 +114,6 @@ func Configure(s System, base core.Config, ds *datasets.Dataset) (core.Config, e
 	case Yggdrasil:
 		cfg.Quadrant = core.QD3
 		cfg.ColumnIndex = core.IndexColumnWise
-	case QD3Hybrid:
-		cfg.Quadrant = core.QD3
-		cfg.ColumnIndex = core.IndexHybrid
-	case Vero:
-		cfg.Quadrant = core.QD4
-		cfg.FullCopy = false
 	default:
 		return cfg, fmt.Errorf("systems: unknown system %q", s)
 	}
