@@ -13,6 +13,7 @@
 package vero_test
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"testing"
@@ -436,6 +437,42 @@ func BenchmarkInferenceFlatParallel(b *testing.B) {
 	rows := float64(b.N) * float64(traffic.NumInstances())
 	b.ReportMetric(rows/time.Since(start).Seconds(), "rows/s")
 }
+
+// Batch-kernel benchmarks: the per-row walk vs the blocked tree-major
+// traversal (PredictorOptions.BlockRows), single-threaded so the numbers
+// isolate the kernel, at the batch sizes a serving tier actually sees.
+
+func benchPredictBatch(b *testing.B, blockRows int) {
+	model, _, traffic := inferSetup(b)
+	pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{Workers: 1, BlockRows: blockRows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			feats := make([][]uint32, batch)
+			vals := make([][]float32, batch)
+			for i := 0; i < batch; i++ {
+				feats[i], vals[i] = traffic.X.Row(i % traffic.NumInstances())
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				pred.PredictRows(feats, vals)
+			}
+			rows := float64(b.N) * float64(batch)
+			b.ReportMetric(rows/time.Since(start).Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkPredictRow scores batches row-at-a-time (BlockRows=1), the
+// pre-blocking serving path.
+func BenchmarkPredictRow(b *testing.B) { benchPredictBatch(b, 1) }
+
+// BenchmarkPredictBlock scores batches through the blocked kernel at the
+// default block size.
+func BenchmarkPredictBlock(b *testing.B) { benchPredictBatch(b, 0) }
 
 // BenchmarkInferenceRowLatency measures single-row latency through the
 // flat engine — the veroserve single-request path — and reports p50/p99.

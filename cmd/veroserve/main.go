@@ -1,16 +1,24 @@
-// Command veroserve serves single-row and batch JSON predictions for a
-// model trained with gbdt.Train and saved with Model.Encode (for example
+// Command veroserve serves single-row and batch JSON predictions for
+// models trained with gbdt.Train and saved with Model.Encode (for example
 // by `veroctl train -model model.json`).
 //
 // Usage:
 //
-//	veroserve -model model.json [-addr :8080] [-workers 0] [-max-inflight 64] [-max-batch 10000]
+//	veroserve -model model.json [flags]
+//	veroserve -model main=model.json -model canary=candidate.json -admin [flags]
 //
-// Endpoints (see internal/serve for the wire format):
+// Each -model flag is name=path (a bare path serves as the "default"
+// model); the first -model is the default served by the legacy /v1/model
+// and /v1/predict aliases. With -admin, models can be loaded, hot-swapped
+// and deleted at runtime without dropping traffic.
+//
+// Endpoints (see internal/serve and docs/SERVING.md for the wire format):
 //
 //	curl localhost:8080/healthz
-//	curl localhost:8080/v1/model
+//	curl localhost:8080/v1/models
+//	curl localhost:8080/metricz
 //	curl -d '{"rows":[{"indices":[0,3],"values":[1.5,-2]}],"proba":true}' localhost:8080/v1/predict
+//	curl -d '{"path":"retrained.json"}' localhost:8080/v1/models/default   # -admin only
 package main
 
 import (
@@ -19,41 +27,92 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"vero/gbdt"
 	"vero/internal/serve"
 )
 
+// modelFlags collects repeated -model name=path flags.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ", ") }
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// parseSpec splits one -model flag into (name, path). A bare path serves
+// as the default model.
+func parseSpec(arg string) (name, path string, err error) {
+	if eq := strings.IndexByte(arg, '='); eq >= 0 {
+		name, path = arg[:eq], arg[eq+1:]
+		if name == "" || path == "" {
+			return "", "", fmt.Errorf("bad -model %q: want name=path", arg)
+		}
+		return name, path, nil
+	}
+	return serve.DefaultModel, arg, nil
+}
+
 func main() {
+	var models modelFlags
 	var (
-		modelPath   = flag.String("model", "", "path to a model saved with Model.Encode (required)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "prediction goroutines per batch (0 = GOMAXPROCS)")
-		maxInflight = flag.Int("max-inflight", 64, "concurrent predict requests before queueing")
+		blockRows   = flag.Int("block-rows", 0, "batch-scoring instance-block size (0 = default, 1 = per-row)")
+		maxInflight = flag.Int("max-inflight", 64, "concurrent predict requests per model before queueing")
 		maxBatch    = flag.Int("max-batch", 10000, "maximum rows per predict request")
+		admin       = flag.Bool("admin", false, "enable model load/hot-swap/delete endpoints")
 	)
+	flag.Var(&models, "model", "model to serve, as name=path or a bare path (repeatable; first is the default)")
 	flag.Parse()
-	if *modelPath == "" {
+	if len(models) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	data, err := os.ReadFile(*modelPath)
-	if err != nil {
-		log.Fatalf("veroserve: %v", err)
+	logger := log.New(os.Stderr, "veroserve: ", log.LstdFlags)
+	var specs []serve.ModelSpec
+	for _, arg := range models {
+		name, path, err := parseSpec(arg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		model, err := gbdt.DecodeModel(data)
+		if err != nil {
+			logger.Fatalf("%s: %v", path, err)
+		}
+		specs = append(specs, serve.ModelSpec{Name: name, Source: path, Model: model})
 	}
-	model, err := gbdt.DecodeModel(data)
-	if err != nil {
-		log.Fatalf("veroserve: %v", err)
-	}
-	srv, err := serve.New(model, *modelPath, serve.Options{
+
+	srv, err := serve.NewMulti(specs, serve.Options{
 		Workers:      *workers,
+		BlockRows:    *blockRows,
 		MaxInFlight:  *maxInflight,
 		MaxBatchRows: *maxBatch,
+		EnableAdmin:  *admin,
+		Logger:       logger,
 	})
 	if err != nil {
-		log.Fatalf("veroserve: %v", err)
+		logger.Fatal(err)
+	}
+
+	for _, st := range srv.Registry().List() {
+		def := ""
+		if st.Name == srv.DefaultModelName() {
+			def = " (default)"
+		}
+		logger.Printf("model %q v%d%s: %d trees, %d classes, objective %q from %s",
+			st.Name, st.Version, def, st.NumTrees, st.NumClass, st.Objective, st.Source)
+	}
+	if *admin {
+		logger.Printf("admin endpoints enabled: POST/DELETE /v1/models/{name}")
 	}
 
 	httpSrv := &http.Server{
@@ -61,7 +120,6 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("veroserve: %d trees, %d classes, objective %q on %s\n",
-		model.NumTrees(), model.Forest().NumClass, model.Forest().Objective, *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+	logger.Printf("serving %d model(s) on %s", len(specs), *addr)
+	logger.Fatal(httpSrv.ListenAndServe())
 }

@@ -1,12 +1,15 @@
 // Serving: train a model, save it with Encode (the artifact cmd/veroserve
 // loads), then score traffic through the flat serving engine — the same
-// Predictor that backs veroserve's HTTP endpoints — and compare its batch
-// throughput with the training-side pointer walk.
+// Predictor that backs veroserve's HTTP endpoints — comparing the
+// training-side pointer walk, the per-row flat walk, and the blocked
+// tree-major batch kernel. All three produce bit-identical margins.
 //
-// To serve the saved model over HTTP instead:
+// To serve the saved model over HTTP instead (with hot-swap enabled):
 //
-//	go run ./cmd/veroserve -model /tmp/vero-model.json
+//	go run ./cmd/veroserve -model /tmp/vero-model.json -admin
 //	curl -d '{"rows":[{"indices":[0,3],"values":[1.5,-2]}],"proba":true}' localhost:8080/v1/predict
+//	curl -d '{"path":"/tmp/vero-model.json"}' localhost:8080/v1/models/default  # hot-swap
+//	curl localhost:8080/metricz
 package main
 
 import (
@@ -42,7 +45,14 @@ func main() {
 	}
 	fmt.Printf("saved %d-tree model (%d KB) to %s\n", model.NumTrees(), len(encoded)/1024, path)
 
-	pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{})
+	// Three engines, one margin: the training forest's pointer walk, the
+	// flat per-row walk (BlockRows: 1) and the blocked batch kernel
+	// (default), all single-threaded so the comparison isolates layout.
+	perRow, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{Workers: 1, BlockRows: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocked, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{Workers: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,18 +61,22 @@ func main() {
 	slow := model.Forest().PredictCSR(traffic.X)
 	pointerSec := time.Since(start).Seconds()
 	start = time.Now()
-	fast := pred.Predict(traffic)
+	flat := perRow.Predict(traffic)
 	flatSec := time.Since(start).Seconds()
+	start = time.Now()
+	fast := blocked.Predict(traffic)
+	blockSec := time.Since(start).Seconds()
 	for i := range fast {
-		if fast[i] != slow[i] {
+		if fast[i] != slow[i] || flat[i] != slow[i] {
 			log.Fatalf("engines disagree at %d", i)
 		}
 	}
 	n := float64(traffic.NumInstances())
-	fmt.Printf("pointer walk: %8.0f rows/s\n", n/pointerSec)
-	fmt.Printf("flat engine:  %8.0f rows/s (%.1fx, bit-exact)\n", n/flatSec, pointerSec/flatSec)
+	fmt.Printf("pointer walk:  %8.0f rows/s\n", n/pointerSec)
+	fmt.Printf("flat per-row:  %8.0f rows/s (%.1fx, bit-exact)\n", n/flatSec, pointerSec/flatSec)
+	fmt.Printf("flat blocked:  %8.0f rows/s (%.1fx, bit-exact)\n", n/blockSec, pointerSec/blockSec)
 
-	probs := pred.Probabilities(fast[:5])
+	probs := blocked.Probabilities(fast[:5])
 	fmt.Printf("first margins:       %.4f\n", fast[:5])
 	fmt.Printf("first probabilities: %.4f\n", probs)
 }

@@ -1,0 +1,125 @@
+package gbdt
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vero/internal/tree"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden model files")
+
+// goldenBinaryModel hand-builds a small deterministic binary forest —
+// independent of the trainer, so the golden bytes pin the serialization
+// format alone, not training numerics.
+func goldenBinaryModel() *Model {
+	f := tree.NewForest(1, 0.5, []float64{0.25}, "logistic", 6)
+	t1 := tree.New(1)
+	l, r := t1.Split(t1.Root(), 2, 0.75, 3, true, 1.5)
+	ll, lr := t1.Split(l, 0, -1.25, 1, false, 0.75)
+	t1.SetLeaf(ll, []float64{0.125})
+	t1.SetLeaf(lr, []float64{0.375})
+	t1.SetLeaf(r, []float64{1})
+	f.Append(t1)
+	t2 := tree.New(1)
+	t2.SetLeaf(t2.Root(), []float64{0.0625})
+	f.Append(t2)
+	return &Model{forest: f}
+}
+
+// goldenMultiModel covers vector leaves and a softmax objective.
+func goldenMultiModel() *Model {
+	f := tree.NewForest(3, 0.25, []float64{0.5, 0.25, 0.125}, "softmax", 4)
+	t1 := tree.New(3)
+	l, r := t1.Split(t1.Root(), 1, 0.5, 2, false, 2)
+	t1.SetLeaf(l, []float64{-0.5, 0, 0.5})
+	t1.SetLeaf(r, []float64{0.5, 0, -0.5})
+	f.Append(t1)
+	return &Model{forest: f}
+}
+
+// TestEncodeGolden pins the encoded-model byte format against committed
+// golden files. Hot-swap deployments (veroserve's admin endpoint) feed
+// files produced by older builds to newer ones, so the on-disk format
+// must not drift: if this test fails, either restore compatibility or —
+// for a deliberate format change — regenerate with `go test ./gbdt
+// -run TestEncodeGolden -update` and note the break in docs/SERVING.md.
+func TestEncodeGolden(t *testing.T) {
+	for _, tc := range []struct {
+		golden string
+		model  *Model
+	}{
+		{"model_binary.golden.json", goldenBinaryModel()},
+		{"model_multiclass.golden.json", goldenMultiModel()},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.golden)
+			got, err := tc.model.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Encode output drifted from %s:\n got: %s\nwant: %s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestDecodeGoldenPredicts loads the committed golden files — exactly
+// what a veroserve hot-swap does — and checks hard-coded predictions, so
+// a format change that still round-trips but misroutes is caught too.
+// All expected margins are sums of exactly-representable binary
+// fractions, so == comparison is portable.
+func TestDecodeGoldenPredicts(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "model_binary.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		feat []uint32
+		val  []float32
+		want float64 // 0.25 init + 0.5*leaf1 + 0.5*0.0625
+	}{
+		{"both_routed", []uint32{0, 2}, []float32{-2, 0.5}, 0.34375},        // leaf 0.125
+		{"defaults", nil, nil, 0.46875},                                     // missing: left then right, leaf 0.375
+		{"right", []uint32{2}, []float32{2}, 0.78125},                       // leaf 1
+		{"threshold_edge", []uint32{0, 2}, []float32{-1.25, 0.75}, 0.34375}, // <= goes left twice
+	} {
+		if got := m.PredictRow(tc.feat, tc.val)[0]; got != tc.want {
+			t.Fatalf("%s: margin %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	data, err = os.ReadFile(filepath.Join("testdata", "model_multiclass.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.PredictRow([]uint32{1}, []float32{0.25})
+	want := []float64{0.5 - 0.125, 0.25, 0.125 + 0.125} // init + 0.25*[-0.5,0,0.5]
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("multiclass margin[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+}

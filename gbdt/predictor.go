@@ -17,6 +17,7 @@ type Predictor struct {
 	flat      *tree.FlatForest
 	objective string
 	workers   int
+	blockRows int
 }
 
 // PredictorOptions configures NewPredictor.
@@ -24,6 +25,12 @@ type PredictorOptions struct {
 	// Workers bounds the goroutines used per batch-prediction call
 	// (default GOMAXPROCS).
 	Workers int
+	// BlockRows is the instance-block size for batch scoring: batches are
+	// traversed in blocks of this many rows, tree-by-tree, so each tree's
+	// node arrays stay cache-hot across the block (bit-identical margins
+	// to the per-row walk). 0 selects tree.DefaultBlockRows; 1 disables
+	// blocking and scores row-at-a-time.
+	BlockRows int
 }
 
 // NewPredictor compiles the model's forest into the flat inference engine.
@@ -39,7 +46,16 @@ func NewPredictor(m *Model, opts PredictorOptions) (*Predictor, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Predictor{flat: flat, objective: m.forest.Objective, workers: workers}, nil
+	blockRows := opts.BlockRows
+	if blockRows <= 0 {
+		blockRows = tree.DefaultBlockRows
+	}
+	return &Predictor{
+		flat:      flat,
+		objective: m.forest.Objective,
+		workers:   workers,
+		blockRows: blockRows,
+	}, nil
 }
 
 // NumClass returns the per-row score dimensionality (1 for regression and
@@ -66,9 +82,13 @@ func (p *Predictor) PredictRowInto(feat []uint32, val []float32, out []float64) 
 }
 
 // Predict returns raw scores for every instance of ds, row-major with
-// stride NumClass, scored in parallel by the predictor's worker pool.
+// stride NumClass, scored in parallel by the predictor's worker pool
+// through the blocked batch kernel (see PredictorOptions.BlockRows).
 func (p *Predictor) Predict(ds *Dataset) []float64 {
-	return p.flat.PredictCSR(ds.X, p.workers)
+	if p.blockRows == 1 {
+		return p.flat.PredictCSR(ds.X, p.workers)
+	}
+	return p.flat.PredictCSRBlocked(ds.X, p.workers, p.blockRows)
 }
 
 // predictRowsChunk is the number of rows one parallel work unit claims.
@@ -82,19 +102,21 @@ func (p *Predictor) PredictRows(feats [][]uint32, vals [][]float32) []float64 {
 	n := len(feats)
 	k := p.flat.NumClass()
 	out := make([]float64, n*k)
+	chunk := predictRowsChunk
+	if p.blockRows > chunk {
+		chunk = p.blockRows
+	}
 	workers := p.workers
-	if max := (n + predictRowsChunk - 1) / predictRowsChunk; workers > max {
+	if max := (n + chunk - 1) / chunk; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			p.flat.PredictRowInto(feats[i], vals[i], out[i*k:(i+1)*k])
-		}
+		p.scoreChunk(feats, vals, out, 0, n)
 		return out
 	}
 	next := make(chan int)
 	go func() {
-		for lo := 0; lo < n; lo += predictRowsChunk {
+		for lo := 0; lo < n; lo += chunk {
 			next <- lo
 		}
 		close(next)
@@ -105,18 +127,29 @@ func (p *Predictor) PredictRows(feats [][]uint32, vals [][]float32) []float64 {
 		go func() {
 			defer wg.Done()
 			for lo := range next {
-				hi := lo + predictRowsChunk
+				hi := lo + chunk
 				if hi > n {
 					hi = n
 				}
-				for i := lo; i < hi; i++ {
-					p.flat.PredictRowInto(feats[i], vals[i], out[i*k:(i+1)*k])
-				}
+				p.scoreChunk(feats, vals, out, lo, hi)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// scoreChunk scores rows [lo, hi) on the calling goroutine, through the
+// blocked kernel unless BlockRows disabled it.
+func (p *Predictor) scoreChunk(feats [][]uint32, vals [][]float32, out []float64, lo, hi int) {
+	k := p.flat.NumClass()
+	if p.blockRows == 1 {
+		for i := lo; i < hi; i++ {
+			p.flat.PredictRowInto(feats[i], vals[i], out[i*k:(i+1)*k])
+		}
+		return
+	}
+	p.flat.PredictBlock(feats[lo:hi], vals[lo:hi], out[lo*k:hi*k], p.blockRows)
 }
 
 // Probabilities converts raw scores (as returned by Predict or PredictRow,

@@ -4,24 +4,21 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"vero/internal/datasets"
+	"vero/internal/testutil"
 )
 
 func trainSmall(t testing.TB, classes int) (*Model, *Dataset) {
 	t.Helper()
-	var (
-		ds  *Dataset
-		err error
-	)
+	var ds *Dataset
 	if classes == 1 {
-		ds, err = SyntheticRegression(2000, 40, 0.4, 0.1, 3)
+		ds = testutil.Regression(t, 2000, 40, 0.4, 0.1, 3)
 	} else {
-		ds, err = Synthetic(SyntheticConfig{
+		ds = testutil.Classification(t, datasets.SyntheticConfig{
 			N: 2000, D: 40, C: classes,
 			InformativeRatio: 0.3, Density: 0.4, Seed: 3,
 		})
-	}
-	if err != nil {
-		t.Fatal(err)
 	}
 	model, _, err := Train(ds, Options{Workers: 4, Trees: 8, Layers: 5, Seed: 3})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"vero/internal/cluster"
 	"vero/internal/datasets"
+	"vero/internal/testutil"
 )
 
 // autoShape is one workload in TestAutoQuadrantSelection's sweep.
@@ -77,7 +78,7 @@ func TestAutoQuadrantSelection(t *testing.T) {
 // TestAutoRejectsFullCopy: FullCopy pins QD4, which the advisor may not
 // choose — the combination is a config error, same as FullCopy+QD2.
 func TestAutoRejectsFullCopy(t *testing.T) {
-	ds := binaryData(t, 100, 10, 0.5)
+	ds := testutil.Binary(t, 100, 10, 0.5, 42)
 	cl := cluster.New(2, cluster.Gigabit())
 	if _, err := Train(cl, ds, Config{Quadrant: QuadrantAuto, FullCopy: true}); err == nil {
 		t.Fatal("accepted FullCopy with QuadrantAuto")

@@ -7,30 +7,9 @@ import (
 	"vero/internal/cluster"
 	"vero/internal/datasets"
 	"vero/internal/loss"
+	"vero/internal/testutil"
 	"vero/internal/tree"
 )
-
-func binaryData(t *testing.T, n, d int, density float64) *datasets.Dataset {
-	t.Helper()
-	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
-		N: n, D: d, C: 2, InformativeRatio: 0.4, Density: density, Seed: 42,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return ds
-}
-
-func multiData(t *testing.T, n, d, c int) *datasets.Dataset {
-	t.Helper()
-	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
-		N: n, D: d, C: c, InformativeRatio: 0.4, Density: 0.3, Seed: 43,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return ds
-}
 
 func trainQuadrant(t *testing.T, ds *datasets.Dataset, cfg Config, w int) (*Result, *cluster.Cluster) {
 	t.Helper()
@@ -83,7 +62,7 @@ func forestsEqual(t *testing.T, a, b *tree.Forest, labelA, labelB string) {
 // base" — they are one algorithm under four data-management policies, so
 // with identical hyper-parameters they must grow identical trees.
 func TestQuadrantsProduceIdenticalModels(t *testing.T) {
-	ds := binaryData(t, 1500, 40, 0.3)
+	ds := testutil.Binary(t, 1500, 40, 0.3, 42)
 	ref, _ := trainQuadrant(t, ds, smallConfig(QD2), 4)
 	for _, q := range []Quadrant{QD1, QD3, QD4} {
 		res, _ := trainQuadrant(t, ds, smallConfig(q), 4)
@@ -92,7 +71,7 @@ func TestQuadrantsProduceIdenticalModels(t *testing.T) {
 }
 
 func TestAggregationVariantsProduceIdenticalModels(t *testing.T) {
-	ds := binaryData(t, 1000, 30, 0.4)
+	ds := testutil.Binary(t, 1000, 30, 0.4, 42)
 	cfg := smallConfig(QD2)
 	ref, _ := trainQuadrant(t, ds, cfg, 3)
 	for _, agg := range []Aggregation{AggReduceScatter, AggParameterServer} {
@@ -104,7 +83,7 @@ func TestAggregationVariantsProduceIdenticalModels(t *testing.T) {
 }
 
 func TestQD3IndexPlansProduceIdenticalModels(t *testing.T) {
-	ds := binaryData(t, 1000, 30, 0.4)
+	ds := testutil.Binary(t, 1000, 30, 0.4, 42)
 	cfg := smallConfig(QD3)
 	hybrid, _ := trainQuadrant(t, ds, cfg, 3)
 	cfg.ColumnIndex = IndexColumnWise
@@ -113,7 +92,7 @@ func TestQD3IndexPlansProduceIdenticalModels(t *testing.T) {
 }
 
 func TestFeatureParallelProducesIdenticalModel(t *testing.T) {
-	ds := binaryData(t, 1000, 30, 0.4)
+	ds := testutil.Binary(t, 1000, 30, 0.4, 42)
 	ref, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
 	cfg := smallConfig(QD4)
 	cfg.FullCopy = true
@@ -122,7 +101,7 @@ func TestFeatureParallelProducesIdenticalModel(t *testing.T) {
 }
 
 func TestWorkerCountDoesNotChangeModel(t *testing.T) {
-	ds := binaryData(t, 800, 25, 0.4)
+	ds := testutil.Binary(t, 800, 25, 0.4, 42)
 	ref, _ := trainQuadrant(t, ds, smallConfig(QD4), 2)
 	for _, w := range []int{1, 5} {
 		res, _ := trainQuadrant(t, ds, smallConfig(QD4), w)
@@ -131,7 +110,7 @@ func TestWorkerCountDoesNotChangeModel(t *testing.T) {
 }
 
 func TestTrainingImprovesBinaryMetrics(t *testing.T) {
-	ds := binaryData(t, 2000, 40, 0.3)
+	ds := testutil.Binary(t, 2000, 40, 0.3, 42)
 	train, valid := ds.Split(0.8, 7)
 	cfg := Config{Quadrant: QD4, Trees: 10, Layers: 5, Splits: 16}
 	cl := cluster.New(4, cluster.Gigabit())
@@ -155,7 +134,7 @@ func TestTrainingImprovesBinaryMetrics(t *testing.T) {
 }
 
 func TestTrainingMultiClass(t *testing.T) {
-	ds := multiData(t, 2000, 30, 5)
+	ds := testutil.Multi(t, 2000, 30, 5, 0.3, 43)
 	train, valid := ds.Split(0.8, 9)
 	cfg := Config{Quadrant: QD4, Trees: 8, Layers: 5, Splits: 16}
 	cl := cluster.New(4, cluster.Gigabit())
@@ -202,7 +181,7 @@ func TestTrainingRegression(t *testing.T) {
 }
 
 func TestOnTreeCallback(t *testing.T) {
-	ds := binaryData(t, 500, 20, 0.4)
+	ds := testutil.Binary(t, 500, 20, 0.4, 42)
 	var calls int
 	var lastElapsed float64
 	cfg := smallConfig(QD2)
@@ -226,7 +205,7 @@ func TestOnTreeCallback(t *testing.T) {
 }
 
 func TestPerTreeSeconds(t *testing.T) {
-	ds := binaryData(t, 500, 20, 0.4)
+	ds := testutil.Binary(t, 500, 20, 0.4, 42)
 	res, _ := trainQuadrant(t, ds, smallConfig(QD4), 2)
 	if len(res.PerTreeSeconds) != 3 {
 		t.Fatalf("PerTreeSeconds has %d entries", len(res.PerTreeSeconds))
@@ -245,7 +224,7 @@ func TestPerTreeSeconds(t *testing.T) {
 // horizontal aggregation volume scales with D while vertical placement
 // volume scales with N, so high-dimensional data favors QD4.
 func TestCommShapeHorizontalVsVertical(t *testing.T) {
-	wide := binaryData(t, 600, 400, 0.1)
+	wide := testutil.Binary(t, 600, 400, 0.1, 42)
 	cfgH := smallConfig(QD2)
 	cfgV := smallConfig(QD4)
 	_, clH := trainQuadrant(t, wide, cfgH, 4)
@@ -263,7 +242,7 @@ func TestCommShapeHorizontalVsVertical(t *testing.T) {
 	// (Figure 10(a)): histograms are tiny while placement bitmaps still
 	// scale with N. The paper's low-dim workloads have N/D ~ 10^5; use a
 	// few-feature dataset with many rows and few candidate splits.
-	narrow := binaryData(t, 60000, 5, 1.0)
+	narrow := testutil.Binary(t, 60000, 5, 1.0, 42)
 	cfgH.Splits = 8
 	cfgV.Splits = 8
 	cfgH.Layers = 6
@@ -288,7 +267,7 @@ func TestCommShapeHorizontalVsVertical(t *testing.T) {
 // TestMemoryShape checks Section 3.1.2: horizontal histogram memory is ~W
 // times vertical.
 func TestMemoryShape(t *testing.T) {
-	ds := binaryData(t, 600, 200, 0.2)
+	ds := testutil.Binary(t, 600, 200, 0.2, 42)
 	_, clH := trainQuadrant(t, ds, smallConfig(QD2), 4)
 	_, clV := trainQuadrant(t, ds, smallConfig(QD4), 4)
 	h := clH.Stats().Mem("histogram").MaxPeak()
@@ -299,7 +278,7 @@ func TestMemoryShape(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	ds := binaryData(t, 100, 10, 0.5)
+	ds := testutil.Binary(t, 100, 10, 0.5, 42)
 	cl := cluster.New(2, cluster.Gigabit())
 	if _, err := Train(cl, ds, Config{}); err == nil {
 		t.Fatal("accepted zero quadrant")
@@ -327,7 +306,7 @@ func TestQuadrantString(t *testing.T) {
 }
 
 func TestTransformBytesReported(t *testing.T) {
-	ds := binaryData(t, 500, 30, 0.3)
+	ds := testutil.Binary(t, 500, 30, 0.3, 42)
 	res, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
 	b := res.TransformBytes
 	if b.NaiveShuffle == 0 || b.BlockifiedShuffle == 0 || b.LabelBroadcast == 0 {

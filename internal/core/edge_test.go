@@ -6,11 +6,12 @@ import (
 	"vero/internal/cluster"
 	"vero/internal/datasets"
 	"vero/internal/sparse"
+	"vero/internal/testutil"
 )
 
 // TestSingleWorker: every quadrant degenerates gracefully to W=1.
 func TestSingleWorker(t *testing.T) {
-	ds := binaryData(t, 600, 20, 0.4)
+	ds := testutil.Binary(t, 600, 20, 0.4, 42)
 	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
 		res, _ := trainQuadrant(t, ds, smallConfig(q), 1)
 		if res.Forest.NumTrees() != 3 {
@@ -21,7 +22,7 @@ func TestSingleWorker(t *testing.T) {
 
 // TestMoreWorkersThanRows: empty shards must not break any quadrant.
 func TestMoreWorkersThanRows(t *testing.T) {
-	ds := binaryData(t, 6, 10, 0.8)
+	ds := testutil.Binary(t, 6, 10, 0.8, 42)
 	cfg := Config{Quadrant: QD2, Trees: 1, Layers: 3, Splits: 4}
 	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
 		cfg.Quadrant = q
@@ -100,7 +101,7 @@ func TestDenseDataset(t *testing.T) {
 // TestDeterministicRerun: identical config and data give a bit-identical
 // model on a fresh run.
 func TestDeterministicRerun(t *testing.T) {
-	ds := binaryData(t, 700, 25, 0.4)
+	ds := testutil.Binary(t, 700, 25, 0.4, 42)
 	a, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
 	b, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
 	forestsEqual(t, a.Forest, b.Forest, "run1", "run2")
@@ -109,7 +110,7 @@ func TestDeterministicRerun(t *testing.T) {
 // TestConcurrentClusterMatchesSequential: running workers on goroutines
 // must not change the model (order-normalized reductions).
 func TestConcurrentClusterMatchesSequential(t *testing.T) {
-	ds := binaryData(t, 700, 25, 0.4)
+	ds := testutil.Binary(t, 700, 25, 0.4, 42)
 	seq, _ := trainQuadrant(t, ds, smallConfig(QD4), 3)
 	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
 		cl := cluster.New(3, cluster.Gigabit(), cluster.WithConcurrent())
@@ -124,7 +125,7 @@ func TestConcurrentClusterMatchesSequential(t *testing.T) {
 // TestDeepTreesSmallData: L much deeper than the data supports — frontier
 // collapses early and the loop must terminate cleanly.
 func TestDeepTreesSmallData(t *testing.T) {
-	ds := binaryData(t, 60, 8, 0.8)
+	ds := testutil.Binary(t, 60, 8, 0.8, 42)
 	cfg := Config{Quadrant: QD4, Trees: 2, Layers: 12, Splits: 8}
 	cl := cluster.New(2, cluster.Gigabit())
 	res, err := Train(cl, ds, cfg)
@@ -139,7 +140,7 @@ func TestDeepTreesSmallData(t *testing.T) {
 // TestGammaPrunesToStump: a huge gamma must stop all splitting, leaving
 // single-leaf trees whose weights still update predictions.
 func TestGammaPrunesToStump(t *testing.T) {
-	ds := binaryData(t, 300, 10, 0.5)
+	ds := testutil.Binary(t, 300, 10, 0.5, 42)
 	cfg := Config{Quadrant: QD2, Trees: 2, Layers: 5, Splits: 8, Gamma: 1e12}
 	cl := cluster.New(2, cluster.Gigabit())
 	res, err := Train(cl, ds, cfg)
@@ -157,7 +158,7 @@ func TestGammaPrunesToStump(t *testing.T) {
 // leaf instance counts above the threshold (hessian of logistic <= 1/4
 // per instance, so count >= 4*MinChildHess).
 func TestMinChildHessLimitsLeaves(t *testing.T) {
-	ds := binaryData(t, 500, 15, 0.5)
+	ds := testutil.Binary(t, 500, 15, 0.5, 42)
 	cfg := Config{Quadrant: QD4, Trees: 1, Layers: 6, Splits: 8, MinChildHess: 10}
 	cl := cluster.New(2, cluster.Gigabit())
 	res, err := Train(cl, ds, cfg)
@@ -189,7 +190,7 @@ func TestRegressionAcrossQuadrants(t *testing.T) {
 // TestMultiClassAcrossQuadrants: softmax with vector leaves is identical
 // in every quadrant.
 func TestMultiClassAcrossQuadrants(t *testing.T) {
-	ds := multiData(t, 900, 25, 4)
+	ds := testutil.Multi(t, 900, 25, 4, 0.3, 43)
 	ref, _ := trainQuadrant(t, ds, smallConfig(QD2), 3)
 	for _, q := range []Quadrant{QD1, QD3, QD4} {
 		res, _ := trainQuadrant(t, ds, smallConfig(q), 3)

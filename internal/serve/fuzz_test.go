@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePredictRequest feeds arbitrary bytes through the /v1/predict
+// body decoder: it must never panic, and any body it accepts must come
+// out as normalized rows the prediction engine's preconditions hold for
+// (parallel slices, strictly sorted feature ids, within the batch limit).
+func FuzzDecodePredictRequest(f *testing.F) {
+	f.Add([]byte(`{"rows":[{"indices":[0,7],"values":[1.5,-2]}],"proba":true}`))
+	f.Add([]byte(`{"dense":[[1.5,0,0,-2]]}`))
+	f.Add([]byte(`{"rows":[{"indices":[7,0],"values":[1,2]}],"dense":[[0,1]]}`))
+	f.Add([]byte(`{"rows":[{"indices":[1,1],"values":[1,2]}]}`))
+	f.Add([]byte(`{"rows":[{"indices":[4294967295],"values":[3.4e38]}]}`))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(`{"rows":[],"dense":[]}`))
+	f.Add([]byte(`{"unknown":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxRows = 64
+		req, feats, vals, status, err := decodePredictRequest(bytes.NewReader(data), maxRows)
+		if err != nil {
+			if status < 400 || status > 599 {
+				t.Fatalf("error %v carries non-error status %d", err, status)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("accepted body returned nil request")
+		}
+		n := len(req.Rows) + len(req.Dense)
+		if n == 0 || n > maxRows {
+			t.Fatalf("accepted %d rows outside (0,%d]", n, maxRows)
+		}
+		if len(feats) != n || len(vals) != n {
+			t.Fatalf("%d rows decoded to %d/%d slices", n, len(feats), len(vals))
+		}
+		for i := range feats {
+			if len(feats[i]) != len(vals[i]) {
+				t.Fatalf("row %d: %d indices, %d values", i, len(feats[i]), len(vals[i]))
+			}
+			for j := 1; j < len(feats[i]); j++ {
+				if feats[i][j] <= feats[i][j-1] {
+					t.Fatalf("row %d not strictly sorted at %d: %v", i, j, feats[i])
+				}
+			}
+		}
+	})
+}

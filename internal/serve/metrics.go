@@ -1,0 +1,109 @@
+// Per-model request accounting: lock-free counters plus a fixed-bucket
+// latency histogram cheap enough to update on every request, from which
+// /metricz derives p50/p99 at scrape time.
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the number of geometric latency buckets. Bucket i counts
+// requests with latency <= latBucketFloor<<i; the last bucket absorbs
+// everything slower.
+const (
+	latBuckets     = 26
+	latBucketFloor = 10 * time.Microsecond // bucket 0 upper bound
+)
+
+// modelMetrics is the accounting shared by every version of a served
+// model name. All fields are atomics; updates never block prediction.
+type modelMetrics struct {
+	requests atomic.Int64 // completed predict requests (any status)
+	errors   atomic.Int64 // predict requests answered with an error status
+	rejected atomic.Int64 // requests that gave up waiting for admission
+	rows     atomic.Int64 // instances scored
+	inFlight atomic.Int64 // predict requests currently admitted
+	buckets  [latBuckets]atomic.Int64
+}
+
+// observe records one completed request.
+func (m *modelMetrics) observe(d time.Duration, rows int, failed bool) {
+	m.requests.Add(1)
+	m.rows.Add(int64(rows))
+	if failed {
+		m.errors.Add(1)
+		return
+	}
+	b, bound := 0, latBucketFloor
+	for b < latBuckets-1 && d > bound {
+		b++
+		bound <<= 1
+	}
+	m.buckets[b].Add(1)
+}
+
+// MetricsSnapshot is one model's /metricz entry.
+type MetricsSnapshot struct {
+	Model     string  `json:"model"`
+	Version   int     `json:"version"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Rejected  int64   `json:"rejected"`
+	Rows      int64   `json:"rows"`
+	InFlight  int64   `json:"in_flight"`
+	LatencyMs Latency `json:"latency_ms"`
+}
+
+// Latency summarizes the fixed-bucket histogram. P50 and P99 are upper
+// bounds of the bucket containing the quantile (0 when no request has
+// completed successfully).
+type Latency struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// snapshot reads the counters. Concurrent updates may land between reads;
+// each individual figure is exact at its read point.
+func (m *modelMetrics) snapshot(name string, version int) MetricsSnapshot {
+	var counts [latBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = m.buckets[i].Load()
+		total += counts[i]
+	}
+	return MetricsSnapshot{
+		Model:    name,
+		Version:  version,
+		Requests: m.requests.Load(),
+		Errors:   m.errors.Load(),
+		Rejected: m.rejected.Load(),
+		Rows:     m.rows.Load(),
+		InFlight: m.inFlight.Load(),
+		LatencyMs: Latency{
+			Count: total,
+			P50:   quantileMs(counts[:], total, 0.50),
+			P99:   quantileMs(counts[:], total, 0.99),
+		},
+	}
+}
+
+// quantileMs returns the upper bound, in milliseconds, of the bucket
+// containing quantile q.
+func quantileMs(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var cum int64
+	bound := latBucketFloor
+	for i, c := range counts {
+		cum += c
+		if cum >= rank || i == len(counts)-1 {
+			return float64(bound) / float64(time.Millisecond)
+		}
+		bound <<= 1
+	}
+	return float64(bound) / float64(time.Millisecond)
+}

@@ -1,12 +1,19 @@
 // Package serve implements the model-serving HTTP layer behind
-// cmd/veroserve: JSON prediction endpoints over a compiled gbdt.Predictor
-// with bounded request concurrency.
+// cmd/veroserve: JSON prediction endpoints over a registry of compiled
+// gbdt.Predictors with atomic hot-swap, per-model admission control and
+// request accounting.
 //
-// Endpoints:
+// Endpoints (see docs/SERVING.md for the full wire format):
 //
-//	GET  /healthz     liveness probe
-//	GET  /v1/model    model metadata (trees, classes, objective, features)
-//	POST /v1/predict  single-row or batch prediction
+//	GET    /healthz                   liveness probe
+//	GET    /metricz                   per-model request/latency accounting
+//	GET    /v1/models                 list registered models
+//	GET    /v1/models/{name}          one model's metadata
+//	POST   /v1/models/{name}/predict  single-row or batch prediction
+//	POST   /v1/models/{name}          load or hot-swap a model (admin)
+//	DELETE /v1/models/{name}          unregister a model (admin)
+//	GET    /v1/model                  alias: default model's metadata
+//	POST   /v1/predict                alias: predict on the default model
 //
 // A predict request carries sparse rows (parallel indices/values arrays),
 // dense rows, or both:
@@ -15,67 +22,121 @@
 //	 "dense": [[1.5, 0, 0, 0, 0, 0, 0, -2.0]],
 //	 "proba": true}
 //
-// The response returns raw margins per row (stride num_class) and, when
-// proba is set, sigmoid/softmax probabilities:
+// The response returns raw margins per row (stride num_class), the
+// (model, version) that scored them, and, when proba is set,
+// sigmoid/softmax probabilities:
 //
-//	{"num_class": 1, "scores": [[0.83]], "probabilities": [[0.69]]}
+//	{"model": "default", "version": 2, "num_class": 1,
+//	 "scores": [[0.83]], "probabilities": [[0.69]]}
 //
-// Concurrency is bounded two ways: MaxInFlight caps the predict requests
-// decoded and scored at once (excess requests wait, honoring request
-// cancellation), and the predictor's worker pool caps the goroutines one
-// batch fans out to.
+// Every request resolves its model handle exactly once, so a hot-swap
+// landing mid-request never mixes versions: the response is entirely the
+// version named in it. Concurrency is bounded per model: MaxInFlight caps
+// the predict requests decoded and scored at once (excess requests wait,
+// honoring request cancellation), and the predictor's worker pool caps
+// the goroutines one batch fans out to.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"os"
 	"sort"
+	"time"
 
 	"vero/gbdt"
 )
+
+// DefaultModel is the name the single-model constructor registers its
+// model under, and the model the legacy /v1/model and /v1/predict aliases
+// resolve.
+const DefaultModel = "default"
 
 // Options configures a Server.
 type Options struct {
 	// Workers bounds the prediction goroutines per batch (default
 	// GOMAXPROCS, via gbdt.PredictorOptions).
 	Workers int
-	// MaxInFlight bounds concurrently served predict requests (default 64).
+	// BlockRows is the batch-scoring instance-block size (default
+	// tree.DefaultBlockRows; 1 disables blocking). See
+	// gbdt.PredictorOptions.BlockRows.
+	BlockRows int
+	// MaxInFlight bounds concurrently served predict requests per model
+	// (default 64).
 	MaxInFlight int
 	// MaxBatchRows rejects predict requests with more rows (default 10000).
 	MaxBatchRows int
+	// EnableAdmin exposes the model load/swap/delete endpoints. Off by
+	// default: the admin endpoint reads model files from the server's
+	// filesystem, so only enable it on trusted networks.
+	EnableAdmin bool
+	// Logger receives load/swap/delete rationale lines (default
+	// log.Default()).
+	Logger *log.Logger
 }
 
-// Server serves predictions for one loaded model.
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.MaxBatchRows <= 0 {
+		o.MaxBatchRows = 10000
+	}
+	if o.Logger == nil {
+		o.Logger = log.Default()
+	}
+	return o
+}
+
+// Server serves predictions for a registry of models.
 type Server struct {
-	pred         *gbdt.Predictor
-	name         string
-	numFeature   int
-	maxBatchRows int
-	inflight     chan struct{}
+	reg         *Registry
+	defaultName string
+	opts        Options
 }
 
-// New compiles the model and returns a ready Server. name is echoed in
-// /v1/model (typically the model file path).
-func New(model *gbdt.Model, name string, opts Options) (*Server, error) {
-	pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{Workers: opts.Workers})
-	if err != nil {
-		return nil, err
-	}
-	if opts.MaxInFlight <= 0 {
-		opts.MaxInFlight = 64
-	}
-	if opts.MaxBatchRows <= 0 {
-		opts.MaxBatchRows = 10000
-	}
-	return &Server{
-		pred:         pred,
-		name:         name,
-		numFeature:   model.Forest().NumFeature,
-		maxBatchRows: opts.MaxBatchRows,
-		inflight:     make(chan struct{}, opts.MaxInFlight),
-	}, nil
+// ModelSpec names one model for NewMulti.
+type ModelSpec struct {
+	Name   string
+	Source string // provenance echoed in /v1/models (typically the file path)
+	Model  *gbdt.Model
 }
+
+// New compiles a single model and returns a ready Server with the model
+// registered as the default. name is recorded as the model's source
+// (typically the model file path).
+func New(model *gbdt.Model, name string, opts Options) (*Server, error) {
+	return NewMulti([]ModelSpec{{Name: DefaultModel, Source: name, Model: model}}, opts)
+}
+
+// NewMulti compiles several models into a fresh registry. The first spec
+// is the default model served by the legacy /v1/model and /v1/predict
+// aliases.
+func NewMulti(specs []ModelSpec, opts Options) (*Server, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serve: no models")
+	}
+	opts = opts.withDefaults()
+	s := &Server{reg: newRegistry(opts), defaultName: specs[0].Name, opts: opts}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("serve: model with empty name")
+		}
+		if _, err := s.reg.Load(spec.Name, spec.Source, spec.Model); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Registry exposes the model registry for programmatic load/swap/delete.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// DefaultModelName returns the name served by the legacy aliases.
+func (s *Server) DefaultModelName() string { return s.defaultName }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
@@ -84,28 +145,70 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	mux.HandleFunc("GET /v1/models", s.handleList)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleModel)
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/models/{name}", s.handleAdminSwap)
+	mux.HandleFunc("DELETE /v1/models/{name}", s.handleAdminDelete)
+	// Legacy single-model aliases, routed at the default model.
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	return mux
 }
 
-// ModelInfo is the /v1/model response.
+// resolve picks the request's model handle: the {name} path segment, or
+// the default model for the legacy alias routes.
+func (s *Server) resolve(r *http.Request) (*handle, string, bool) {
+	name := r.PathValue("name")
+	if name == "" {
+		name = s.defaultName
+	}
+	h, ok := s.reg.get(name)
+	return h, name, ok
+}
+
+// ModelInfo is the /v1/model and /v1/models/{name} response: the
+// registry status plus whether the model backs the legacy aliases.
 type ModelInfo struct {
-	Name       string `json:"name"`
-	NumTrees   int    `json:"num_trees"`
-	NumClass   int    `json:"num_class"`
-	NumFeature int    `json:"num_feature"`
-	Objective  string `json:"objective"`
+	ModelStatus
+	Default bool `json:"default"`
+}
+
+func (s *Server) info(st ModelStatus) ModelInfo {
+	return ModelInfo{ModelStatus: st, Default: st.Name == s.defaultName}
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ModelInfo{
-		Name:       s.name,
-		NumTrees:   s.pred.NumTrees(),
-		NumClass:   s.pred.NumClass(),
-		NumFeature: s.numFeature,
-		Objective:  s.pred.Objective(),
-	})
+	h, name, ok := s.resolve(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("model %q not registered", name)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(h.status()))
+}
+
+// ModelList is the /v1/models response.
+type ModelList struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sts := s.reg.List()
+	list := ModelList{Models: make([]ModelInfo, 0, len(sts))}
+	for _, st := range sts {
+		list.Models = append(list.Models, s.info(st))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// MetricsResponse is the /metricz response.
+type MetricsResponse struct {
+	Models []MetricsSnapshot `json:"models"`
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{Models: s.reg.Metrics()})
 }
 
 // SparseRow is one instance in sparse form: parallel feature-id/value
@@ -124,8 +227,12 @@ type PredictRequest struct {
 	Proba bool `json:"proba,omitempty"`
 }
 
-// PredictResponse is the /v1/predict response body.
+// PredictResponse is the /v1/predict response body. Model and Version
+// identify the exact registry entry that scored every row of the
+// response.
 type PredictResponse struct {
+	Model         string      `json:"model"`
+	Version       int         `json:"version"`
 	NumClass      int         `json:"num_class"`
 	Scores        [][]float64 `json:"scores"`
 	Probabilities [][]float64 `json:"probabilities,omitempty"`
@@ -136,40 +243,74 @@ type apiError struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	// Bounded concurrency: wait for an in-flight slot or client hang-up.
+	// Resolve the handle once: everything below — admission, scoring,
+	// accounting, the response's (model, version) — is this one version,
+	// no matter what swaps land meanwhile.
+	h, name, ok := s.resolve(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("model %q not registered", name)})
+		return
+	}
+
+	// Bounded per-model concurrency: wait for a slot or client hang-up.
 	select {
-	case s.inflight <- struct{}{}:
-		defer func() { <-s.inflight }()
+	case h.inflight <- struct{}{}:
+		defer func() { <-h.inflight }()
 	case <-r.Context().Done():
+		h.metrics.rejected.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "request canceled while waiting for capacity"})
 		return
 	}
+	h.metrics.inFlight.Add(1)
+	defer h.metrics.inFlight.Add(-1)
+	start := time.Now()
 
+	req, feats, vals, status, err := decodePredictRequest(r.Body, s.opts.MaxBatchRows)
+	if err != nil {
+		h.metrics.observe(time.Since(start), 0, true)
+		writeJSON(w, status, apiError{Error: err.Error()})
+		return
+	}
+	margins := h.pred.PredictRows(feats, vals)
+
+	k := h.pred.NumClass()
+	resp := PredictResponse{
+		Model:    h.name,
+		Version:  h.version,
+		NumClass: k,
+		Scores:   reshape(margins, k),
+	}
+	if req.Proba {
+		resp.Probabilities = reshape(h.pred.Probabilities(margins), k)
+	}
+	h.metrics.observe(time.Since(start), len(feats), false)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodePredictRequest parses and validates a predict body, returning the
+// normalized sparse rows ready for the prediction engine. On error the
+// returned status is the HTTP code to answer with.
+func decodePredictRequest(body io.Reader, maxRows int) (*PredictRequest, [][]uint32, [][]float32, int, error) {
 	var req PredictRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode request: " + err.Error()})
-		return
+		return nil, nil, nil, http.StatusBadRequest, fmt.Errorf("decode request: %w", err)
 	}
 	n := len(req.Rows) + len(req.Dense)
 	if n == 0 {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty request: provide rows or dense"})
-		return
+		return nil, nil, nil, http.StatusBadRequest, fmt.Errorf("empty request: provide rows or dense")
 	}
-	if n > s.maxBatchRows {
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			apiError{Error: fmt.Sprintf("%d rows exceeds batch limit %d", n, s.maxBatchRows)})
-		return
+	if maxRows > 0 && n > maxRows {
+		return nil, nil, nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%d rows exceeds batch limit %d", n, maxRows)
 	}
-
 	feats := make([][]uint32, 0, n)
 	vals := make([][]float32, 0, n)
 	for i := range req.Rows {
 		feat, val, err := normalizeSparse(req.Rows[i])
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("row %d: %v", i, err)})
-			return
+			return nil, nil, nil, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err)
 		}
 		feats, vals = append(feats, feat), append(vals, val)
 	}
@@ -177,14 +318,70 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		feat, val := sparsify(dense)
 		feats, vals = append(feats, feat), append(vals, val)
 	}
-	margins := s.pred.PredictRows(feats, vals)
+	return &req, feats, vals, http.StatusOK, nil
+}
 
-	k := s.pred.NumClass()
-	resp := PredictResponse{NumClass: k, Scores: reshape(margins, k)}
-	if req.Proba {
-		resp.Probabilities = reshape(s.pred.Probabilities(margins), k)
+// SwapRequest is the admin POST /v1/models/{name} body: the encoded-model
+// file to load.
+type SwapRequest struct {
+	Path string `json:"path"`
+}
+
+func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.EnableAdmin {
+		writeJSON(w, http.StatusForbidden, apiError{Error: "admin endpoints disabled (start with admin enabled)"})
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	name := r.PathValue("name")
+	var req SwapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode request: " + err.Error()})
+		return
+	}
+	if req.Path == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty path"})
+		return
+	}
+	data, err := os.ReadFile(req.Path)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "read model: " + err.Error()})
+		return
+	}
+	model, err := gbdt.DecodeModel(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode model: " + err.Error()})
+		return
+	}
+	st, prior, err := s.reg.Swap(name, req.Path, model)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if prior != nil {
+		s.opts.Logger.Printf("serve: hot-swapped model %q v%d -> v%d (%d trees from %s; in-flight requests finish on v%d)",
+			name, prior.Version, st.Version, st.NumTrees, st.Source, prior.Version)
+	} else {
+		s.opts.Logger.Printf("serve: loaded model %q v%d (%d trees from %s)", name, st.Version, st.NumTrees, st.Source)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleAdminDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.EnableAdmin {
+		writeJSON(w, http.StatusForbidden, apiError{Error: "admin endpoints disabled (start with admin enabled)"})
+		return
+	}
+	name := r.PathValue("name")
+	if name == s.defaultName {
+		writeJSON(w, http.StatusConflict, apiError{Error: "cannot delete the default model"})
+		return
+	}
+	if err := s.reg.Delete(name); err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	s.opts.Logger.Printf("serve: deleted model %q (in-flight requests finish on their version)", name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
 // normalizeSparse validates one sparse row and returns it sorted by

@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"vero/gbdt"
+	"vero/internal/datasets"
+	"vero/internal/testutil"
 )
 
 // newTestServer trains a model, round-trips it through Encode/DecodeModel
@@ -17,13 +19,10 @@ import (
 // httptest.
 func newTestServer(t *testing.T, classes int) (*httptest.Server, *gbdt.Model, *gbdt.Dataset) {
 	t.Helper()
-	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+	ds := testutil.Classification(t, datasets.SyntheticConfig{
 		N: 1500, D: 30, C: classes,
 		InformativeRatio: 0.3, Density: 0.4, Seed: 11,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	model, _, err := gbdt.Train(ds, gbdt.Options{Workers: 4, Trees: 6, Layers: 5, Seed: 11})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,55 @@
+// Package testutil holds the synthetic-dataset builders shared by test
+// files across gbdt, internal/core and internal/serve, so each package
+// does not grow its own copy of the generate-or-fatal boilerplate.
+//
+// The package deliberately depends only on internal/datasets: test files
+// inside package gbdt import it too, and any dependency on gbdt here
+// would cycle through their test binary.
+package testutil
+
+import (
+	"testing"
+
+	"vero/internal/datasets"
+)
+
+// Classification generates a synthetic classification dataset from an
+// explicit config, failing the test on error. Use this when a test pins
+// exact generator parameters; Binary and Multi cover the common shapes.
+func Classification(tb testing.TB, cfg datasets.SyntheticConfig) *datasets.Dataset {
+	tb.Helper()
+	ds, err := datasets.Synthetic(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}
+
+// Binary generates a deterministic binary-classification dataset with the
+// trainer tests' standard informative ratio (0.4).
+func Binary(tb testing.TB, n, d int, density float64, seed int64) *datasets.Dataset {
+	tb.Helper()
+	return Classification(tb, datasets.SyntheticConfig{
+		N: n, D: d, C: 2, InformativeRatio: 0.4, Density: density, Seed: seed,
+	})
+}
+
+// Multi generates a deterministic multi-class dataset with the trainer
+// tests' standard informative ratio (0.4).
+func Multi(tb testing.TB, n, d, c int, density float64, seed int64) *datasets.Dataset {
+	tb.Helper()
+	return Classification(tb, datasets.SyntheticConfig{
+		N: n, D: d, C: c, InformativeRatio: 0.4, Density: density, Seed: seed,
+	})
+}
+
+// Regression generates a deterministic regression dataset y = x.w + noise,
+// failing the test on error.
+func Regression(tb testing.TB, n, d int, density, noise float64, seed int64) *datasets.Dataset {
+	tb.Helper()
+	ds, err := datasets.SyntheticRegression(n, d, density, noise, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}

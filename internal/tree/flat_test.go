@@ -161,6 +161,109 @@ func TestFlatScratchDimSkipsUnroutedFeatures(t *testing.T) {
 	}
 }
 
+// TestPredictBlockMatchesPerRow is the blocked-kernel property test:
+// across random forests, random sparse batches, block sizes and worker
+// counts, the tree-major blocked traversal must reproduce the per-row
+// walk bit-exactly.
+func TestPredictBlockMatchesPerRow(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		numClass int
+		density  float64
+		trees    int
+		layers   int
+		d        int
+	}{
+		{"binary_dense", 1, 0.9, 12, 6, 50},
+		{"binary_sparse", 1, 0.05, 30, 5, 300},
+		{"multiclass", 4, 0.3, 12, 6, 50},
+		{"deep_narrow", 1, 0.7, 3, 9, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := int64(0); trial < 4; trial++ {
+				rng := rand.New(rand.NewSource(100 + trial))
+				f := randomForest(t, rng, tc.trees, tc.layers, tc.d, tc.numClass)
+				m := randomCSR(t, rng, 150, tc.d, tc.density)
+				ff := Compile(f)
+				want := ff.PredictCSR(m, 1)
+
+				feats := make([][]uint32, m.Rows())
+				vals := make([][]float32, m.Rows())
+				for i := range feats {
+					feats[i], vals[i] = m.Row(i)
+				}
+				for _, block := range []int{1, 3, DefaultBlockRows, 1000} {
+					got := make([]float64, len(want))
+					ff.PredictBlock(feats, vals, got, block)
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("trial %d block %d: score[%d] = %v, want %v (bit-exact)",
+								trial, block, i, got[i], want[i])
+						}
+					}
+					for _, workers := range []int{1, 4} {
+						csr := ff.PredictCSRBlocked(m, workers, block)
+						for i := range csr {
+							if csr[i] != want[i] {
+								t.Fatalf("trial %d block %d workers %d: CSR score[%d] = %v, want %v",
+									trial, block, workers, i, csr[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBlockEdgeCases covers shapes the property test's generator
+// does not produce: empty batches, all-empty rows, root-only forests and
+// rows carrying feature ids no split routes on.
+func TestPredictBlockEdgeCases(t *testing.T) {
+	t.Run("root_only", func(t *testing.T) {
+		f := NewForest(2, 0.1, []float64{0.5, -0.5}, "softmax", 4)
+		tr := New(2)
+		tr.SetLeaf(0, []float64{1, 2})
+		f.Append(tr)
+		ff := Compile(f)
+		out := make([]float64, 2*2)
+		ff.PredictBlock([][]uint32{nil, {1}}, [][]float32{nil, {3}}, out, 0)
+		want := []float64{0.5 + 0.1*1, -0.5 + 0.1*2}
+		for r := 0; r < 2; r++ {
+			for k := range want {
+				if out[r*2+k] != want[k] {
+					t.Fatalf("row %d: got %v, want %v", r, out[r*2:r*2+2], want)
+				}
+			}
+		}
+		if res := ff.PredictCSRBlocked(sparse.NewCSRBuilder(4).Build(), 4, 0); len(res) != 0 {
+			t.Fatalf("empty matrix produced %d scores", len(res))
+		}
+	})
+	t.Run("unrouted_features", func(t *testing.T) {
+		f := NewForest(1, 1, []float64{0}, "square", 1_000_000)
+		tr := New(1)
+		l, r := tr.Split(0, 0, 0, 0, false, 1)
+		tr.SetLeaf(l, []float64{-1})
+		tr.SetLeaf(r, []float64{+1})
+		f.Append(tr)
+		ff := Compile(f)
+		out := make([]float64, 2)
+		ff.PredictBlock(
+			[][]uint32{{0, 999_999}, {999_999}},
+			[][]float32{{-1, 42}, {42}},
+			out, 7)
+		if out[0] != -1 || out[1] != 1 {
+			t.Fatalf("got %v, want [-1 1]", out)
+		}
+	})
+	t.Run("empty_batch", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(2))
+		ff := Compile(randomForest(t, rng, 3, 4, 10, 1))
+		ff.PredictBlock(nil, nil, nil, 0) // must not panic
+	})
+}
+
 func BenchmarkFlatCompile(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	f := randomForest(b, rng, 100, 8, 200, 1)
