@@ -14,6 +14,8 @@ package vero_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -491,4 +493,100 @@ func BenchmarkInferenceRowLatency(b *testing.B) {
 	sort.Float64s(lat)
 	b.ReportMetric(lat[len(lat)/2], "p50_us")
 	b.ReportMetric(lat[len(lat)*99/100], "p99_us")
+}
+
+// --- Ingestion: cold parse vs warm binned cache (docs/DATA.md) ---
+
+// ingestSetup writes a LibSVM training file and its .vbin cache image to
+// a temp dir, returning both paths and the row count.
+func ingestSetup(b *testing.B, n, d int) (libsvm, vbin string, rows int) {
+	b.Helper()
+	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+		N: n, D: d, C: 2, InformativeRatio: 0.2, Density: 0.2, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	libsvm = filepath.Join(dir, "bench.libsvm")
+	f, err := os.Create(libsvm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := gbdt.WriteLibSVM(f, ds); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	vbin = filepath.Join(dir, "bench.vbin")
+	if err := gbdt.WriteCacheFile(vbin, ds, gbdt.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	return libsvm, vbin, ds.NumInstances()
+}
+
+// BenchmarkIngestColdParse measures the full cold path: chunked parallel
+// LibSVM parse plus the streaming sketch pass that derives bin boundaries.
+func BenchmarkIngestColdParse(b *testing.B) {
+	libsvm, _, rows := ingestSetup(b, 20000, 100)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gbdt.IngestFile(libsvm, gbdt.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows*b.N)/time.Since(start).Seconds(), "rows/s")
+}
+
+// BenchmarkIngestColdParse1Worker is the single-threaded baseline the
+// worker pool is measured against.
+func BenchmarkIngestColdParse1Worker(b *testing.B) {
+	libsvm, _, rows := ingestSetup(b, 20000, 100)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gbdt.IngestFile(libsvm, gbdt.Options{NumParseWorkers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows*b.N)/time.Since(start).Seconds(), "rows/s")
+}
+
+// BenchmarkIngestWarmCache measures the warm path: loading the binned
+// binary cache, which skips parsing, sketching and binning.
+func BenchmarkIngestWarmCache(b *testing.B) {
+	_, vbin, rows := ingestSetup(b, 20000, 100)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbdt.ReadCacheFile(vbin); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows*b.N)/time.Since(start).Seconds(), "rows/s")
+}
+
+// BenchmarkIngestWarmVsCold runs both paths back to back and reports the
+// warm-over-cold rows/s ratio — the acceptance headline of the cache.
+func BenchmarkIngestWarmVsCold(b *testing.B) {
+	libsvm, vbin, rows := ingestSetup(b, 20000, 100)
+	b.ResetTimer()
+	var coldSec, warmSec float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, _, err := gbdt.IngestFile(libsvm, gbdt.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		coldSec += time.Since(t0).Seconds()
+		t0 = time.Now()
+		if _, err := gbdt.ReadCacheFile(vbin); err != nil {
+			b.Fatal(err)
+		}
+		warmSec += time.Since(t0).Seconds()
+	}
+	b.ReportMetric(float64(rows*b.N)/coldSec, "cold_rows/s")
+	b.ReportMetric(float64(rows*b.N)/warmSec, "warm_rows/s")
+	b.ReportMetric(coldSec/warmSec, "warm_x")
 }

@@ -1,10 +1,14 @@
-// Command datagen writes synthetic datasets in LibSVM format: either the
-// paper's random-linear-model generator with explicit shape parameters, or
-// a named simulacrum of one of the paper's datasets (Table 2 / Section 6).
+// Command datagen writes synthetic datasets: either the paper's
+// random-linear-model generator with explicit shape parameters, or a
+// named simulacrum of one of the paper's datasets (Table 2 / Section 6).
+// Output is LibSVM text by default; -format vbin emits the binned binary
+// cache directly (docs/DATA.md), so training starts warm with no parse
+// and no binning.
 //
 // Usage:
 //
 //	datagen -n 100000 -d 1000 -c 2 -density 0.2 -out train.libsvm
+//	datagen -n 100000 -d 1000 -c 2 -format vbin -out train.vbin
 //	datagen -name rcv1 -out rcv1.libsvm
 //	datagen -list
 package main
@@ -26,7 +30,9 @@ func main() {
 	noise := flag.Float64("noise", 0.0, "label noise fraction")
 	name := flag.String("name", "", "named paper dataset simulacrum (overrides shape flags)")
 	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "", "output path (default stdout)")
+	out := flag.String("out", "", "output path (default stdout; required for -format vbin)")
+	format := flag.String("format", "libsvm", "output format: libsvm or vbin (binned binary cache)")
+	splits := flag.Int("splits", 20, "candidate splits per feature for -format vbin (q)")
 	list := flag.Bool("list", false, "list named datasets and exit")
 	flag.Parse()
 
@@ -59,18 +65,33 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	switch *format {
+	case "vbin":
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "datagen: -format vbin requires -out")
+			os.Exit(1)
+		}
+		if err := gbdt.WriteCacheFile(*out, ds, gbdt.Options{Splits: *splits}); err != nil {
 			fmt.Fprintln(os.Stderr, "datagen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := gbdt.WriteLibSVM(w, ds); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
+	case "libsvm":
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := gbdt.WriteLibSVM(w, ds); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q (want libsvm or vbin)\n", *format)
 		os.Exit(1)
 	}
 	if *out != "" {

@@ -1,20 +1,27 @@
-// Command veroctl trains, evaluates and applies GBDT models on LibSVM
-// files with any of the paper's data-management policies.
+// Command veroctl trains, evaluates and applies GBDT models on LibSVM,
+// CSV or .vbin-cache files with any of the paper's data-management
+// policies.
 //
 // Usage:
 //
 //	veroctl train -data train.libsvm -classes 2 -system vero -model model.json
-//	veroctl train -data train.libsvm -classes 2 -quadrant auto -model model.json
+//	veroctl train -data train.csv -format csv -cache .vero-cache -quadrant auto -model model.json
+//	veroctl ingest -data train.libsvm -classes 2 -out train.vbin
 //	veroctl eval  -data valid.libsvm -classes 2 -model model.json
 //	veroctl predict -data test.libsvm -classes 2 -model model.json
 //	veroctl advise -n 1000000 -d 100000 -workers 8
 //	veroctl systems
+//
+// Data files ending in .vbin are loaded as binned binary caches (see
+// docs/DATA.md); -cache DIR keeps a .vbin cache per source file so warm
+// runs skip parsing and binning entirely.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vero/gbdt"
 )
@@ -32,6 +39,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	case "systems":
 		for _, s := range gbdt.Systems() {
 			fmt.Printf("%-12s %s\n", s, gbdt.DescribeSystem(s))
@@ -49,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: veroctl <train|eval|predict|advise|systems> [flags]
+	fmt.Fprintln(os.Stderr, `usage: veroctl <train|ingest|eval|predict|advise|systems> [flags]
 run "veroctl <command> -h" for command flags`)
 }
 
@@ -108,6 +117,72 @@ func cmdAdvise(args []string) error {
 	return nil
 }
 
+// ingestFlags registers the shared ingestion flags on fs and returns a
+// closure that folds their values (and the class count) into options.
+func ingestFlags(fs *flag.FlagSet) func(base gbdt.Options, classes int) (gbdt.Options, error) {
+	format := fs.String("format", "", "input format: libsvm (default) or csv")
+	cache := fs.String("cache", "", "cache directory: keep a .vbin binned cache per source file")
+	chunk := fs.Int("chunk-rows", 0, "ingestion block size in rows (default 4096)")
+	workers := fs.Int("parse-workers", 0, "parse worker pool size (default GOMAXPROCS)")
+	return func(base gbdt.Options, classes int) (gbdt.Options, error) {
+		f, err := gbdt.ParseFormat(*format)
+		if err != nil {
+			return base, err
+		}
+		base.Format = f
+		base.CacheDir = *cache
+		base.ChunkRows = *chunk
+		base.NumParseWorkers = *workers
+		base.NumClass = classes
+		return base, nil
+	}
+}
+
+// cmdIngest parses a dataset and writes its binned binary cache, either
+// to an explicit -out path or into a -cache directory.
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	data := fs.String("data", "", "input data (LibSVM or CSV)")
+	classes := fs.Int("classes", 2, "1=regression, 2=binary, >2=multi-class")
+	out := fs.String("out", "", "output .vbin path (default: derive under -cache)")
+	splits := fs.Int("splits", 20, "candidate splits per feature (q)")
+	finish := ingestFlags(fs)
+	fs.Parse(args)
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	opts, err := finish(gbdt.Options{Splits: *splits}, *classes)
+	if err != nil {
+		return err
+	}
+	if *out != "" && opts.CacheDir != "" {
+		return fmt.Errorf("-out and -cache are mutually exclusive")
+	}
+	if *out == "" && opts.CacheDir == "" {
+		opts.CacheDir = ".vero-cache"
+	}
+	start := time.Now()
+	ds, status, err := gbdt.IngestFile(*data, opts)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := gbdt.WriteCacheFile(*out, ds, opts); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(ds.NumInstances()) / elapsed.Seconds()
+	fmt.Printf("ingested %d x %d (%d classes, %d nonzeros) in %v (%s, %.0f rows/s)\n",
+		ds.NumInstances(), ds.NumFeatures(), ds.NumClass, ds.X.NNZ(), elapsed.Round(time.Millisecond), status, rate)
+	if *out != "" {
+		fmt.Printf("cache written to %s\n", *out)
+	} else {
+		fmt.Printf("cache directory: %s\n", opts.CacheDir)
+	}
+	return nil
+}
+
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	data := fs.String("data", "", "training data (LibSVM)")
@@ -124,14 +199,18 @@ func cmdTrain(args []string) error {
 	gamma := fs.Float64("gamma", 0.0, "per-leaf penalty")
 	model := fs.String("model", "model.json", "output model path")
 	verbose := fs.Bool("v", false, "per-tree progress")
+	finish := ingestFlags(fs)
 	fs.Parse(args)
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
-	opts := gbdt.Options{
+	opts, err := finish(gbdt.Options{
 		System: gbdt.System(*system), Workers: *workers, Concurrent: *concurrent,
 		Trees: *trees, Layers: *layers, Splits: *splits,
 		LearningRate: *eta, Lambda: *lambda, Gamma: *gamma,
+	}, *classes)
+	if err != nil {
+		return err
 	}
 	policy := *system
 	if *quadrant != "" {
@@ -142,10 +221,13 @@ func cmdTrain(args []string) error {
 		opts.Quadrant = q
 		policy = q.String()
 	}
-	ds, err := gbdt.ReadLibSVMFile(*data, *classes)
+	ingestStart := time.Now()
+	ds, status, err := gbdt.IngestFile(*data, opts)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("ingested %d x %d in %v (%s)\n",
+		ds.NumInstances(), ds.NumFeatures(), time.Since(ingestStart).Round(time.Millisecond), status)
 	if *verbose {
 		opts.OnTree = func(i int, elapsed float64, _ *gbdt.Tree) {
 			fmt.Printf("tree %3d  simulated elapsed %.3fs\n", i, elapsed)
@@ -175,9 +257,10 @@ func cmdTrain(args []string) error {
 }
 
 func loadModelAndData(fs *flag.FlagSet, args []string) (*gbdt.Model, *gbdt.Dataset, error) {
-	data := fs.String("data", "", "data file (LibSVM)")
+	data := fs.String("data", "", "data file (LibSVM, CSV or .vbin)")
 	classes := fs.Int("classes", 2, "1=regression, 2=binary, >2=multi-class")
 	model := fs.String("model", "model.json", "model path")
+	finish := ingestFlags(fs)
 	fs.Parse(args)
 	if *data == "" {
 		return nil, nil, fmt.Errorf("-data is required")
@@ -190,7 +273,13 @@ func loadModelAndData(fs *flag.FlagSet, args []string) (*gbdt.Model, *gbdt.Datas
 	if err != nil {
 		return nil, nil, err
 	}
-	ds, err := gbdt.ReadLibSVMFile(*data, *classes)
+	opts, err := finish(gbdt.Options{}, *classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Evaluation and prediction discard candidate splits, so read without
+	// the sketch pass.
+	ds, _, err := gbdt.ReadDataFile(*data, opts)
 	if err != nil {
 		return nil, nil, err
 	}

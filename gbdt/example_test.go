@@ -1,8 +1,11 @@
 package gbdt_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"vero/gbdt"
 )
@@ -143,4 +146,57 @@ func ExampleAdviseDataset() {
 	// Output:
 	// quadrant: 3
 	// partitioning: vertical
+}
+
+// ExampleTrainFile is the ingestion quickstart: write a training file,
+// train through the chunked parallel pipeline with a cache directory,
+// and train again — the second run ingests warm from the .vbin binned
+// cache (no parse, no binning) yet produces a bit-identical model.
+func ExampleTrainFile() {
+	dir, err := os.MkdirTemp("", "vero-ingest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ds, err := gbdt.Synthetic(gbdt.SyntheticConfig{
+		N: 2000, D: 40, C: 2,
+		InformativeRatio: 0.3, Density: 0.3, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, "train.libsvm")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gbdt.WriteLibSVM(f, ds); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	opts := gbdt.Options{
+		NumClass: 2, CacheDir: filepath.Join(dir, "cache"),
+		Workers: 4, Trees: 5, Layers: 4,
+	}
+	cold, _, err := gbdt.TrainFile(path, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, status, err := gbdt.IngestFile(path, opts) // cache is fresh now
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, _, err := gbdt.TrainFile(path, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := cold.Encode()
+	b, _ := warm.Encode()
+	fmt.Println("second ingest:", status)
+	fmt.Println("bit-identical models:", bytes.Equal(a, b))
+	// Output:
+	// second ingest: warm
+	// bit-identical models: true
 }

@@ -165,6 +165,28 @@ type Options struct {
 	// Objective is "square", "logistic" or "softmax"; inferred from the
 	// dataset when empty.
 	Objective string
+	// NumClass is the class count: 1 for regression, 2 for binary, >2 for
+	// multi-class. Zero means infer from the dataset; file-based entry
+	// points (IngestFile, TrainFile) default it to 2.
+	NumClass int
+
+	// Ingestion options, honored by the file-based entry points
+	// (IngestFile, TrainFile) and ignored by Train on an in-memory
+	// dataset.
+
+	// Format is the input dialect, FormatLibSVM (default) or FormatCSV.
+	Format Format
+	// ChunkRows is the ingestion block size in input lines (default
+	// 4096): rows are parsed in blocks of this many lines by the parallel
+	// parser.
+	ChunkRows int
+	// NumParseWorkers sizes the ingestion parse pool (default
+	// GOMAXPROCS).
+	NumParseWorkers int
+	// CacheDir, when set, enables the binned binary cache: cold runs
+	// write a .vbin image there and warm runs load it directly, skipping
+	// parse and bin while producing bit-identical models (docs/DATA.md).
+	CacheDir string
 
 	Seed int64
 
@@ -284,6 +306,7 @@ func baseConfig(opts Options) core.Config {
 		Gamma:        opts.Gamma,
 		MinChildHess: opts.MinChildHess,
 		Objective:    opts.Objective,
+		NumClass:     opts.NumClass,
 		Seed:         opts.Seed,
 		OnTree:       opts.OnTree,
 	}

@@ -1,0 +1,168 @@
+package gbdt
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"vero/internal/ingest"
+)
+
+// Format selects an ingestion input dialect.
+type Format = ingest.Format
+
+// The supported input formats. The dialects — and the .vbin cache format
+// — are specified byte by byte in docs/DATA.md.
+const (
+	// FormatLibSVM is "label idx:value ..." sparse text (the default).
+	FormatLibSVM = ingest.FormatLibSVM
+	// FormatCSV is comma-separated text: label first, one column per
+	// feature, empty fields meaning missing values.
+	FormatCSV = ingest.FormatCSV
+)
+
+// ParseFormat reads a format from its command-line spelling ("libsvm",
+// "csv", or empty for the default).
+func ParseFormat(s string) (Format, error) { return ingest.ParseFormat(s) }
+
+// IngestStatus reports whether a dataset came from a warm cache or a
+// cold parse.
+type IngestStatus = ingest.CacheStatus
+
+// Ingest outcomes.
+const (
+	// IngestCold means the source file was parsed (and, with a CacheDir,
+	// the cache was written).
+	IngestCold = ingest.CacheCold
+	// IngestWarm means the dataset was loaded from the binned binary
+	// cache without parsing or binning.
+	IngestWarm = ingest.CacheWarm
+)
+
+// ingestOptions translates the façade options to the pipeline's.
+func ingestOptions(opts Options) ingest.Options {
+	return ingest.Options{
+		Format:    opts.Format,
+		NumClass:  opts.NumClass,
+		ChunkRows: opts.ChunkRows,
+		Workers:   opts.NumParseWorkers,
+		Q:         opts.Splits,
+	}
+}
+
+// IngestFile reads a training file through the chunked, parallel
+// ingestion pipeline (internal/ingest), honoring the ingestion fields of
+// Options: Format, NumClass, ChunkRows, NumParseWorkers and CacheDir.
+//
+// With a CacheDir, the binned binary cache is consulted first: a fresh,
+// parameter-matching .vbin file is loaded directly — no parsing, no
+// binning — and a miss parses the source and rewrites the cache. A path
+// ending in ".vbin" is always loaded as a cache image, CacheDir or not.
+// The returned status says which happened.
+//
+// Candidate splits derived during ingestion ride along on the dataset
+// (see datasets.Prebin) and training with matching parameters — the
+// Splits option, default 20 — adopts them instead of re-sketching; models
+// are bit-identical either way.
+func IngestFile(path string, opts Options) (*Dataset, IngestStatus, error) {
+	opts = opts.withDefaults()
+	if opts.NumClass == 0 {
+		opts.NumClass = 2
+	}
+	if strings.HasSuffix(path, ".vbin") {
+		ds, err := ingest.ReadCacheFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		if ds.NumClass != opts.NumClass {
+			return nil, "", fmt.Errorf("gbdt: cache %s holds %d classes, want %d", path, ds.NumClass, opts.NumClass)
+		}
+		return ds, IngestWarm, nil
+	}
+	if opts.CacheDir != "" {
+		return ingest.Cached(opts.CacheDir, path, ingestOptions(opts))
+	}
+	ds, err := ingest.IngestFile(path, ingestOptions(opts))
+	if err != nil {
+		return nil, "", err
+	}
+	return ds, IngestCold, nil
+}
+
+// ReadDataFile reads a data file without deriving bins: the chunked
+// parallel parse only, no sketch pass. Use it for evaluation and
+// prediction workloads, where candidate splits would be discarded.
+// A `.vbin` path (or a fresh cache under Options.CacheDir) still
+// warm-loads — its bins come for free — but a cache miss parses the
+// source without rewriting the cache.
+func ReadDataFile(path string, opts Options) (*Dataset, IngestStatus, error) {
+	opts = opts.withDefaults()
+	if opts.NumClass == 0 {
+		opts.NumClass = 2
+	}
+	if strings.HasSuffix(path, ".vbin") {
+		return IngestFile(path, opts)
+	}
+	if opts.CacheDir != "" {
+		if ds, err := readFreshCache(path, opts); err == nil {
+			return ds, IngestWarm, nil
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("gbdt: %w", err)
+	}
+	defer f.Close()
+	o := ingestOptions(opts)
+	ds, err := ingest.ReadDataset(f, o)
+	if err != nil {
+		return nil, "", err
+	}
+	return ds, IngestCold, nil
+}
+
+// readFreshCache loads the source's cache image if it exists, is fresh
+// and matches the requested parameters; any failure is a miss.
+func readFreshCache(source string, opts Options) (*Dataset, error) {
+	return ingest.ReadFreshCache(opts.CacheDir, source, ingestOptions(opts))
+}
+
+// TrainFile ingests a training file per IngestFile and trains on it —
+// the one-call path from a file on disk (LibSVM, CSV or .vbin cache) to
+// a model.
+func TrainFile(path string, opts Options) (*Model, *Report, error) {
+	ds, _, err := IngestFile(path, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Train(ds, opts)
+}
+
+// WriteCacheFile writes a dataset as a .vbin binned binary cache;
+// Options.Splits (default 20) bounds the per-feature bin count. An
+// existing ingestion-derived Prebin is reused when its q matches and
+// re-derived otherwise — unless the dataset is quantized (already
+// reconstructed from a cache), where a q change is an error because the
+// source values are gone. Loading the file with ReadCacheFile or
+// IngestFile skips parse and bin entirely.
+func WriteCacheFile(path string, ds *Dataset, opts Options) error {
+	q := opts.Splits
+	if q == 0 {
+		q = 20 // the paper's q, core.Config's default
+	}
+	pb := ds.Prebin
+	switch {
+	case pb == nil:
+		pb = ingest.Prebinned(ds, ingest.DefaultSketchEps, q)
+	case pb.Q != q:
+		if pb.Quantized {
+			return fmt.Errorf("gbdt: dataset was binned with q=%d; caching it with q=%d needs the source values — re-ingest instead", pb.Q, q)
+		}
+		pb = ingest.Prebinned(ds, pb.SketchEps, q)
+	}
+	return ingest.WriteCacheFile(path, ds, pb)
+}
+
+// ReadCacheFile loads a .vbin binned binary cache written by
+// WriteCacheFile (or by a cold IngestFile run with a CacheDir).
+func ReadCacheFile(path string) (*Dataset, error) { return ingest.ReadCacheFile(path) }

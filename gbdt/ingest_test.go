@@ -1,0 +1,214 @@
+package gbdt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrainFile(t *testing.T, dir string) string {
+	t.Helper()
+	ds, err := Synthetic(SyntheticConfig{N: 300, D: 30, C: 2, InformativeRatio: 0.2, Density: 0.3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "train.libsvm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := WriteLibSVM(f, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainFileWithCache(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrainFile(t, dir)
+	opts := Options{Trees: 3, Layers: 4, Workers: 4, CacheDir: filepath.Join(dir, "cache")}
+
+	cold, _, err := IngestFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, status, err := IngestFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != IngestWarm {
+		t.Fatalf("second ingest: status %s, want warm", status)
+	}
+
+	mc, _, err := Train(cold, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, _, err := Train(warm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := mc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := mw.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ec, ew) {
+		t.Fatal("warm-cache model differs from cold model")
+	}
+
+	// TrainFile accepts the .vbin image directly.
+	entries, err := os.ReadDir(filepath.Join(dir, "cache"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir: %v entries, err %v", len(entries), err)
+	}
+	mv, _, err := TrainFile(filepath.Join(dir, "cache", entries[0].Name()), Options{Trees: 3, Layers: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := mv.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ev, ec) {
+		t.Fatal("direct .vbin model differs")
+	}
+}
+
+func TestTrainFileCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "train.csv")
+	csv := "label,a,b\n1,0.5,2\n0,,1\n1,0.25,\n0,1,1\n1,0.1,3\n0,2,0\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := TrainFile(path, Options{Format: FormatCSV, Trees: 2, Layers: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 2 {
+		t.Fatalf("trees = %d, want 2", m.NumTrees())
+	}
+}
+
+func TestWriteReadCacheFile(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{N: 200, D: 25, C: 3, InformativeRatio: 0.2, Density: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.vbin")
+	if err := WriteCacheFile(path, ds, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Trees: 3, Layers: 4, Workers: 4}
+	md, _, err := Train(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, _, err := Train(got, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := md.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := mg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ed, eg) {
+		t.Fatal("cache-round-tripped synthetic dataset trains a different model")
+	}
+}
+
+// TestQuantizedSplitKeepsGuard: splitting a cache-loaded dataset must
+// keep the cached bins on both halves — training them with matching
+// parameters works, and a parameter mismatch is still rejected instead
+// of silently re-sketching bin representatives.
+func TestQuantizedSplitKeepsGuard(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{N: 300, D: 20, C: 2, InformativeRatio: 0.3, Density: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.vbin")
+	if err := WriteCacheFile(path, ds, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ReadCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, valid := warm.Split(0.8, 1)
+	if train.Prebin == nil || !train.Prebin.Quantized || valid.Prebin == nil {
+		t.Fatal("quantized halves lost their prebin")
+	}
+	if _, _, err := Train(train, Options{Trees: 2, Layers: 3, Workers: 2}); err != nil {
+		t.Fatalf("matching-parameter train on quantized half: %v", err)
+	}
+	_, _, err = Train(train, Options{Trees: 2, Layers: 3, Workers: 2, Splits: 16})
+	if err == nil || !strings.Contains(err.Error(), "re-ingest") {
+		t.Fatalf("mismatched train on quantized half: err = %v, want rejection", err)
+	}
+}
+
+// TestReadDataFileSkipsSketch: the evaluation read path must not derive
+// bins — and must still warm-load a fresh cache when one exists.
+func TestReadDataFileSkipsSketch(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrainFile(t, dir)
+	ds, status, err := ReadDataFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != IngestCold || ds.Prebin != nil {
+		t.Fatalf("plain read: status %s, prebin %v", status, ds.Prebin)
+	}
+	opts := Options{CacheDir: filepath.Join(dir, "cache")}
+	if _, _, err := IngestFile(path, opts); err != nil { // build the cache
+		t.Fatal(err)
+	}
+	ds, status, err = ReadDataFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != IngestWarm || ds.Prebin == nil || !ds.Prebin.Quantized {
+		t.Fatalf("cached read: status %s, prebin %+v", status, ds.Prebin)
+	}
+}
+
+// TestWriteCacheFileHonorsSplits: an existing raw prebin with a
+// different q is re-derived at the requested q; a quantized dataset
+// refuses a q change.
+func TestWriteCacheFileHonorsSplits(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrainFile(t, dir)
+	ds, _, err := IngestFile(path, Options{}) // raw prebin at q=20
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "q50.vbin")
+	if err := WriteCacheFile(out, ds, Options{Splits: 50}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCacheFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Prebin.Q != 50 {
+		t.Fatalf("cache q = %d, want 50", back.Prebin.Q)
+	}
+	if err := WriteCacheFile(filepath.Join(dir, "bad.vbin"), back, Options{Splits: 20}); err == nil || !strings.Contains(err.Error(), "re-ingest") {
+		t.Fatalf("quantized q change: err = %v, want rejection", err)
+	}
+}

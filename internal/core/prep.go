@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vero/internal/cluster"
+	"vero/internal/datasets"
 	"vero/internal/partition"
 	"vero/internal/sketch"
 	"vero/internal/sparse"
@@ -46,14 +47,57 @@ func (t *trainer) checkMaxBins() error {
 	return nil
 }
 
+// usablePrebin returns the dataset's ingestion-derived binning when it
+// matches the training configuration. A quantized dataset (values are bin
+// representatives reconstructed from a .vbin cache) whose parameters do
+// not match is an error: the source values needed to re-sketch are gone,
+// so silently re-binning would produce a model that matches no source
+// run. A non-quantized mismatch simply falls back to sketching.
+func (t *trainer) usablePrebin() (*datasets.Prebin, error) {
+	pb := t.ds.Prebin
+	if pb.Matches(t.cfg.SketchEps, t.cfg.Splits) {
+		return pb, nil
+	}
+	if pb != nil && pb.Quantized {
+		return nil, fmt.Errorf("core: dataset was binned with eps=%v q=%d but training wants eps=%v q=%d; re-ingest the source or match the cache parameters",
+			pb.SketchEps, pb.Q, t.cfg.SketchEps, t.cfg.Splits)
+	}
+	return nil, nil
+}
+
+// adoptPrebin installs ingestion-derived candidate splits, charging only
+// the split broadcast: the sketch build and exchange were already paid at
+// ingestion time, which is exactly the preparation cost a warm cache
+// removes.
+func (t *trainer) adoptPrebin(pb *datasets.Prebin) []int64 {
+	t.binner = &sparse.Binner{Splits: pb.Splits}
+	t.numBinsGlobal = make([]int, t.d)
+	var splitBytes int64
+	for f := 0; f < t.d; f++ {
+		t.numBinsGlobal[f] = len(pb.Splits[f])
+		splitBytes += int64(len(pb.Splits[f])) * 4
+	}
+	t.cl.Broadcast("prep.sketch", splitBytes)
+	return pb.FeatCount
+}
+
 // distributedSketch builds worker-local quantile sketches (timed and
 // charged like the real systems do), then derives canonical candidate
 // splits and per-feature value counts. Canonical means partitioning-
 // independent: splits come from one global row-order sketch per feature,
 // so every quadrant and every worker count yields bit-identical models —
 // the property the paper relies on when comparing quadrants "in the same
-// code base".
+// code base". A dataset that arrives with matching ingestion-derived
+// splits (datasets.Prebin) skips the sketch pass entirely; the splits are
+// identical by construction, so so is the model.
 func (t *trainer) distributedSketch() ([]int64, error) {
+	pb, err := t.usablePrebin()
+	if err != nil {
+		return nil, err
+	}
+	if pb != nil {
+		return t.adoptPrebin(pb), nil
+	}
 	local := make([][]*sketch.GK, t.w)
 	t.cl.Parallel("prep.sketch", func(w int) {
 		sks := make([]*sketch.GK, t.d)

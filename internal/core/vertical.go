@@ -137,14 +137,24 @@ func (e *verticalEngine) prepare() error {
 }
 
 // prepareVero runs the full horizontal-to-vertical transformation
-// (Section 4.2.1) and adopts its shards.
+// (Section 4.2.1) and adopts its shards. A dataset with matching
+// ingestion-derived splits starts the transformation at the grouping
+// step: sketching was already paid at ingestion.
 func (e *verticalEngine) prepareVero() error {
 	t := e.t
-	res, err := partition.Transform(t.cl, t.ds.X, t.ds.Labels, partition.Options{
+	opts := partition.Options{
 		Q:         t.cfg.Splits,
 		SketchEps: t.cfg.SketchEps,
 		Charge:    t.cfg.TransformCharge,
-	})
+	}
+	pb, err := t.usablePrebin()
+	if err != nil {
+		return err
+	}
+	if pb != nil {
+		opts.Splits, opts.FeatCount = pb.Splits, pb.FeatCount
+	}
+	res, err := partition.Transform(t.cl, t.ds.X, t.ds.Labels, opts)
 	if err != nil {
 		return err
 	}

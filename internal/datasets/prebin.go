@@ -1,0 +1,37 @@
+package datasets
+
+// Prebin carries binning state derived during ingestion: the candidate
+// split points and per-feature value counts that a (SketchEps, Q)
+// quantile-sketch pass over the source data produced. When a Dataset
+// arrives with a Prebin whose parameters match the training
+// configuration, the trainer adopts it instead of re-sketching — the warm
+// path a .vbin cache (internal/ingest) enables.
+//
+// The split points are exactly what sketch.Canonical + CandidateSplits
+// would compute over the raw values, so adopting them changes nothing
+// about the trained model; it only removes the sketch phase from
+// preparation.
+type Prebin struct {
+	// SketchEps is the quantile-sketch error bound the splits were
+	// derived with (core.Config.SketchEps).
+	SketchEps float64
+	// Q is the candidate-split budget per feature (core.Config.Splits).
+	Q int
+	// Splits holds the ascending candidate split values of each feature;
+	// Splits[f] is nil for features with no stored values.
+	Splits [][]float32
+	// FeatCount is the number of non-NaN stored values per feature — the
+	// sketch counts the vertical quadrants balance column groups with.
+	FeatCount []int64
+	// Quantized marks a dataset whose X values are bin representatives
+	// reconstructed from a cache rather than source values. Training a
+	// quantized dataset with parameters other than (SketchEps, Q) is an
+	// error: the source values needed to re-sketch are gone.
+	Quantized bool
+}
+
+// Matches reports whether the prebin was derived with exactly the given
+// sketch parameters.
+func (p *Prebin) Matches(eps float64, q int) bool {
+	return p != nil && p.SketchEps == eps && p.Q == q
+}

@@ -1,13 +1,3 @@
-// Package datasets provides the training data used across the
-// reproduction: the paper's synthetic generator (Section 5.2), scaled-down
-// simulacra of its public and industrial datasets (Table 2, Section 6),
-// and LibSVM-format I/O.
-//
-// The paper generates synthetic data "from random linear regression
-// models": a weight matrix W of size D x C with an informative fraction p
-// of nonzero rows; each instance is a random D-dimensional vector with
-// density phi, and its label is argmax(x^T W). The same process is
-// reproduced here with deterministic seeding.
 package datasets
 
 import (
@@ -34,6 +24,12 @@ type Dataset struct {
 	Labels   []float32
 	NumClass int // 1 for regression, 2 for binary, C for multi-class
 	Task     Task
+	// Prebin, when non-nil, carries candidate splits derived during
+	// ingestion; a trainer with matching sketch parameters adopts them
+	// instead of re-sketching. Split keeps it on the halves of a
+	// quantized dataset (the splits stay authoritative for subsets of
+	// cache-reconstructed values) and drops it for raw datasets.
+	Prebin *Prebin
 }
 
 // NumInstances returns N.
@@ -228,13 +224,22 @@ func (d *Dataset) Split(frac float64, seed int64) (train, valid *Dataset) {
 			}
 			labels = append(labels, d.Labels[i])
 		}
-		return &Dataset{
+		out := &Dataset{
 			Name:     d.Name + suffix,
 			X:        b.Build(),
 			Labels:   labels,
 			NumClass: d.NumClass,
 			Task:     d.Task,
 		}
+		// A quantized dataset's values are bin representatives: its splits
+		// stay authoritative for any subset (re-sketching representatives
+		// is exactly what Prebin.Quantized guards against), so the halves
+		// inherit the prebin. Raw datasets drop it — re-sketching a raw
+		// subset is the correct canonical behavior.
+		if d.Prebin != nil && d.Prebin.Quantized {
+			out.Prebin = d.Prebin
+		}
+		return out
 	}
 	return build(perm[:nTrain], "-train"), build(perm[nTrain:], "-valid")
 }

@@ -1,0 +1,111 @@
+package ingest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vero/internal/datasets"
+)
+
+// CacheStatus reports how Cached obtained its dataset.
+type CacheStatus string
+
+// Cached outcomes.
+const (
+	// CacheCold means the source was parsed and the cache (re)built.
+	CacheCold CacheStatus = "cold"
+	// CacheWarm means the dataset was loaded from a fresh cache.
+	CacheWarm CacheStatus = "warm"
+)
+
+// CachePath derives the cache file path for a source file under dir. The
+// name embeds a hash of the absolute source path and every ingestion
+// parameter that shapes the cache, so parameter changes key different
+// cache files instead of silently reusing stale ones.
+func CachePath(dir, source string, opts Options) (string, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return "", err
+	}
+	abs, err := filepath.Abs(source)
+	if err != nil {
+		return "", fmt.Errorf("ingest: %w", err)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%g|%d", abs, opts.Format, opts.NumClass, opts.SketchEps, opts.Q)
+	base := strings.TrimSuffix(filepath.Base(source), filepath.Ext(source))
+	return filepath.Join(dir, fmt.Sprintf("%s-%016x.vbin", base, h.Sum64())), nil
+}
+
+// ReadFreshCache warm-loads the cache for source under dir when the
+// cache file exists, is at least as new as the source and matches the
+// requested parameters. Any other condition — including corruption — is
+// reported as an error the caller treats as a miss.
+func ReadFreshCache(dir, source string, opts Options) (*datasets.Dataset, error) {
+	path, err := CachePath(dir, source, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if !fresh(path, source) {
+		return nil, fmt.Errorf("ingest: no fresh cache for %s", source)
+	}
+	ds, err := ReadCacheFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !ds.Prebin.Matches(opts.SketchEps, opts.Q) || ds.NumClass != opts.NumClass {
+		return nil, &CacheMismatchError{Reason: fmt.Sprintf("cache %s does not match requested parameters", path)}
+	}
+	return ds, nil
+}
+
+// Cached loads source through the cache directory: when a cache file
+// exists, is at least as new as the source and matches the requested
+// parameters, it is warm-loaded (no parsing, no binning); otherwise the
+// source is cold-ingested and the cache rewritten. A corrupt or mismatched
+// cache is treated as a miss, never an error.
+func Cached(dir, source string, opts Options) (*datasets.Dataset, CacheStatus, error) {
+	if ds, err := ReadFreshCache(dir, source, opts); err == nil {
+		return ds, CacheWarm, nil
+	}
+	path, err := CachePath(dir, source, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, "", err
+	}
+	ds, err := IngestFile(source, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
+		return nil, "", fmt.Errorf("ingest: cache dir: %w", mkErr)
+	}
+	if err := WriteCacheFile(path, ds, ds.Prebin); err != nil {
+		return nil, "", err
+	}
+	return ds, CacheCold, nil
+}
+
+// fresh reports whether the cache at path exists and is at least as new
+// as the source file.
+func fresh(path, source string) bool {
+	ci, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	si, err := os.Stat(source)
+	if err != nil {
+		return false
+	}
+	return !ci.ModTime().Before(si.ModTime())
+}

@@ -1,0 +1,135 @@
+package ingest
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func readCSV(t *testing.T, text string, numClass, chunk int) (*Block, error) {
+	t.Helper()
+	var merged *Block
+	err := ScanBlocks(strings.NewReader(text), Options{Format: FormatCSV, NumClass: numClass, ChunkRows: chunk}, func(b *Block) error {
+		if merged == nil {
+			merged = b
+			return nil
+		}
+		base := int64(len(merged.Feat))
+		merged.Feat = append(merged.Feat, b.Feat...)
+		merged.Val = append(merged.Val, b.Val...)
+		for i := 1; i < len(b.RowPtr); i++ {
+			merged.RowPtr = append(merged.RowPtr, base+b.RowPtr[i])
+		}
+		merged.Labels = append(merged.Labels, b.Labels...)
+		return nil
+	})
+	return merged, err
+}
+
+func TestCSVBasic(t *testing.T) {
+	text := "label,f0,f1,f2\n1,0.5,,2\n0,,,\n1,-1,3.25,0\n"
+	ds, err := ReadDataset(strings.NewReader(text), Options{Format: FormatCSV, NumClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumInstances() != 3 || ds.NumFeatures() != 3 {
+		t.Fatalf("shape %dx%d, want 3x3", ds.NumInstances(), ds.NumFeatures())
+	}
+	// Row 0: features 0 and 2 (feature 1 missing).
+	feat, val := ds.X.Row(0)
+	if len(feat) != 2 || feat[0] != 0 || feat[1] != 2 || val[0] != 0.5 || val[1] != 2 {
+		t.Fatalf("row 0 = %v %v", feat, val)
+	}
+	// Row 1: fully missing.
+	if ds.X.RowNNZ(1) != 0 {
+		t.Fatalf("row 1 nnz = %d, want 0", ds.X.RowNNZ(1))
+	}
+	// Row 2: explicit zero IS stored.
+	feat, val = ds.X.Row(2)
+	if len(feat) != 3 || val[2] != 0 {
+		t.Fatalf("row 2 = %v %v (explicit 0 must be stored)", feat, val)
+	}
+	if ds.Labels[0] != 1 || ds.Labels[1] != 0 || ds.Labels[2] != 1 {
+		t.Fatalf("labels = %v", ds.Labels)
+	}
+}
+
+func TestCSVQuotedFields(t *testing.T) {
+	// Quoted values, escaped quotes inside a quoted header cell, commas
+	// inside quotes.
+	text := "\"label\",\"feature \"\"one\"\"\",\"b,c\"\n\"1\",\"0.5\",\"-2\"\n0,1,\"3\"\n"
+	b, err := readCSV(t, text, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Labels) != 2 {
+		t.Fatalf("rows = %d, want 2", len(b.Labels))
+	}
+	if b.Val[0] != 0.5 || b.Val[1] != -2 {
+		t.Fatalf("row 0 vals = %v", b.Val[:2])
+	}
+}
+
+func TestCSVNaNValue(t *testing.T) {
+	ds, err := ReadDataset(strings.NewReader("1,nan,2\n0,1,2\n"), Options{Format: FormatCSV, NumClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, val := ds.X.Row(0)
+	if !math.IsNaN(float64(val[0])) {
+		t.Fatalf("val = %v, want NaN stored", val[0])
+	}
+}
+
+func TestCSVHeaderOnlyOnFirstLine(t *testing.T) {
+	// Header on line 1 is skipped; a non-numeric label later is an error.
+	if _, err := readCSV(t, "lab,a\n1,2\nbad,3\n", 2, 100); err == nil || !strings.Contains(err.Error(), "line 3: bad label") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCSVRaggedRows(t *testing.T) {
+	// Within one chunk.
+	if _, err := readCSV(t, "1,2,3\n0,1\n", 2, 100); err == nil || !strings.Contains(err.Error(), "line 2: row has 2 fields, want 3") {
+		t.Fatalf("in-chunk: err = %v", err)
+	}
+	// Across chunks (each chunk internally consistent).
+	if _, err := readCSV(t, "1,2,3\n0,1\n", 2, 1); err == nil || !strings.Contains(err.Error(), "fields, want 3") {
+		t.Fatalf("cross-chunk: err = %v", err)
+	}
+}
+
+func TestCSVUnterminatedQuote(t *testing.T) {
+	_, err := readCSV(t, "1,\"broken\n", 2, 100)
+	if err == nil || !strings.Contains(err.Error(), "unterminated quoted field") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = readCSV(t, "1,\"a\"x,2\n", 2, 100)
+	if err == nil || !strings.Contains(err.Error(), "after closing quote") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCSVCRLF(t *testing.T) {
+	ds, err := ReadDataset(strings.NewReader("1,2\r\n0,3\r\n"), Options{Format: FormatCSV, NumClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumInstances() != 2 {
+		t.Fatalf("rows = %d, want 2", ds.NumInstances())
+	}
+	_, val := ds.X.Row(1)
+	if val[0] != 3 {
+		t.Fatalf("row 1 val = %v (stray \\r?)", val[0])
+	}
+}
+
+func TestCSVLabelValidation(t *testing.T) {
+	if _, err := readCSV(t, "7,1\n", 3, 100); err == nil || !strings.Contains(err.Error(), "label 7 outside [0,3)") {
+		t.Fatalf("err = %v", err)
+	}
+	// Regression accepts any numeric label.
+	if _, err := readCSV(t, "-3.5,1\n", 1, 100); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+// Package ingest is the dataset ingestion pipeline: chunked, parallel
+// parsing of LibSVM and CSV sources, a streaming quantile-sketch pass that
+// derives histogram bin boundaries while the data is read, and a
+// versioned, columnar binned binary cache (.vbin) that lets warm runs skip
+// parsing and binning entirely.
+//
+// # Pipeline
+//
+// ScanBlocks splits the input into fixed-size row blocks (complete lines),
+// parses the blocks on a worker pool, and re-sequences the results so the
+// consumer sees blocks in file order. Everything downstream is a consumer
+// of that one block iterator:
+//
+//   - ReadDataset accumulates blocks into an in-memory Dataset — the same
+//     matrix the single-threaded reference parser (datasets.ReadLibSVM)
+//     produces, bit for bit.
+//   - Ingest additionally feeds every value into per-feature
+//     Greenwald–Khanna sketches (internal/sketch) as blocks arrive. Because
+//     blocks are re-sequenced into row order first, the streaming pass
+//     reproduces sketch.Canonical exactly, and the resulting candidate
+//     splits are attached to the Dataset as a datasets.Prebin the trainer
+//     adopts instead of re-sketching.
+//
+// Chunking bounds the parser's scratch memory, not the final matrix: the
+// trainer needs the whole (binned) dataset resident, so ingestion still
+// materializes it. What the pipeline removes is single-threaded parsing
+// and the repeated sketch+bin work — and the cache below removes the parse
+// itself.
+//
+// # The .vbin cache
+//
+// WriteCacheFile stores a dataset in binned columnar form: per-feature
+// candidate splits, bin-width-packed (instance, bin) columns, and the
+// label block, all little-endian with a versioned header and checksum (the
+// byte-level specification lives in docs/DATA.md). ReadCacheFile
+// reconstructs a Dataset whose values are bin representatives — each value
+// re-bins to exactly the bin stored in the cache — with Prebin.Quantized
+// set. Training such a dataset with the cache's (SketchEps, Q) parameters
+// produces a model bit-identical to training from the original source
+// file; training it with other parameters is rejected, because the source
+// values needed to re-sketch are gone.
+//
+// Cached ties it together: it warm-loads a fresh cache when one exists and
+// cold-ingests (then writes the cache) otherwise. The cache format is also
+// the intended shard-exchange format for future distributed ingestion: a
+// shard is just a .vbin file whose columns cover a feature group.
+package ingest

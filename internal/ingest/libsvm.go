@@ -1,0 +1,64 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseLibSVMChunk parses one chunk of LibSVM/SVMLight lines: "label
+// idx:value idx:value ...". Blank lines and lines starting with '#' are
+// skipped. Indices may be 0- or 1-based and are used as-is, matching the
+// reference parser (datasets.ReadLibSVM).
+func parseLibSVMChunk(c rawChunk, opts Options) (*Block, error) {
+	b := &Block{firstLine: c.firstLine, RowPtr: make([]int64, 1, 64)}
+	s := string(c.data)
+	line := c.firstLine - 1
+	for len(s) > 0 {
+		line++
+		var raw string
+		if i := strings.IndexByte(s, '\n'); i >= 0 {
+			raw, s = s[:i], s[i+1:]
+		} else {
+			raw, s = s, ""
+		}
+		text := strings.TrimSpace(raw)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		label, err := strconv.ParseFloat(fields[0], 32)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: bad label %q: %w", line, fields[0], err)
+		}
+		if err := checkLabel(label, opts.NumClass, line); err != nil {
+			return nil, err
+		}
+		rowStart := len(b.Feat)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("ingest: line %d: bad pair %q", line, f)
+			}
+			idx, err := strconv.ParseUint(f[:colon], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: line %d: bad index %q: %w", line, f[:colon], err)
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 32)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: line %d: bad value %q: %w", line, f[colon+1:], err)
+			}
+			b.Feat = append(b.Feat, uint32(idx))
+			b.Val = append(b.Val, float32(val))
+			if cols := int(idx) + 1; cols > b.Cols {
+				b.Cols = cols
+			}
+		}
+		if err := sortRow(b.Feat[rowStart:], b.Val[rowStart:], line); err != nil {
+			return nil, err
+		}
+		b.Labels = append(b.Labels, float32(label))
+		b.RowPtr = append(b.RowPtr, int64(len(b.Feat)))
+	}
+	return b, nil
+}

@@ -1,0 +1,366 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vero/internal/datasets"
+	"vero/internal/sparse"
+)
+
+// The .vbin binned binary cache format, version 1. All integers are
+// little-endian; the byte-level specification lives in docs/DATA.md.
+//
+// A 64-byte header is followed by seven payload sections at offsets
+// computable from the header alone (an mmap-friendly property: every
+// section is a fixed-width array):
+//
+//	split counts   cols      x uint32
+//	split values   sum(cnt)  x float32
+//	feature counts cols      x uint64
+//	colPtr         cols+1    x uint64
+//	instances      nnz       x uint32
+//	bins           nnz       x binWidth bytes
+//	labels         rows      x float32
+const (
+	vbinMagic      = "VBIN"
+	vbinVersion    = 1
+	vbinHeaderSize = 64
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CacheMismatchError marks a structurally valid cache whose parameters
+// (version, sketch eps, q, class count) do not match what the caller
+// needs. Callers treat it as a miss and rebuild.
+type CacheMismatchError struct{ Reason string }
+
+// Error implements error.
+func (e *CacheMismatchError) Error() string { return "ingest: cache mismatch: " + e.Reason }
+
+// WriteCache bins the dataset with its prebin's candidate splits and
+// writes the .vbin image. The prebin is required: it carries the splits
+// the cache stores and the (eps, q) identity of the binning.
+func WriteCache(w io.Writer, ds *datasets.Dataset, pb *datasets.Prebin) error {
+	if pb == nil {
+		return fmt.Errorf("ingest: cache write requires a prebin (see Ingest or Prebinned)")
+	}
+	if len(pb.Splits) != ds.NumFeatures() || len(pb.FeatCount) != ds.NumFeatures() {
+		return fmt.Errorf("ingest: prebin covers %d features, dataset has %d", len(pb.Splits), ds.NumFeatures())
+	}
+	binner := &sparse.Binner{Splits: pb.Splits}
+	binned, err := binner.BinCSR(ds.X)
+	if err != nil {
+		return fmt.Errorf("ingest: bin: %w", err)
+	}
+	csc := binned.ToCSC()
+
+	rows, cols, nnz := ds.NumInstances(), ds.NumFeatures(), csc.NNZ()
+	splitsTotal := 0
+	maxBins := 0
+	for _, s := range pb.Splits {
+		splitsTotal += len(s)
+		if len(s) > maxBins {
+			maxBins = len(s)
+		}
+	}
+	binWidth := 1
+	if maxBins > 1<<8 {
+		binWidth = 2
+	}
+
+	payload := make([]byte, 4*cols+4*splitsTotal+8*cols+8*(cols+1)+4*nnz+binWidth*nnz+4*rows)
+	off := 0
+	for _, s := range pb.Splits {
+		binary.LittleEndian.PutUint32(payload[off:], uint32(len(s)))
+		off += 4
+	}
+	for _, s := range pb.Splits {
+		for _, v := range s {
+			binary.LittleEndian.PutUint32(payload[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	for _, c := range pb.FeatCount {
+		binary.LittleEndian.PutUint64(payload[off:], uint64(c))
+		off += 8
+	}
+	for _, p := range csc.ColPtr {
+		binary.LittleEndian.PutUint64(payload[off:], uint64(p))
+		off += 8
+	}
+	for _, i := range csc.Inst {
+		binary.LittleEndian.PutUint32(payload[off:], i)
+		off += 4
+	}
+	if binWidth == 1 {
+		for _, b := range csc.Bin {
+			payload[off] = byte(b)
+			off++
+		}
+	} else {
+		for _, b := range csc.Bin {
+			binary.LittleEndian.PutUint16(payload[off:], b)
+			off += 2
+		}
+	}
+	for _, y := range ds.Labels {
+		binary.LittleEndian.PutUint32(payload[off:], math.Float32bits(y))
+		off += 4
+	}
+
+	header := make([]byte, vbinHeaderSize)
+	copy(header, vbinMagic)
+	binary.LittleEndian.PutUint32(header[4:], vbinVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(rows))
+	binary.LittleEndian.PutUint64(header[16:], uint64(cols))
+	binary.LittleEndian.PutUint64(header[24:], uint64(nnz))
+	binary.LittleEndian.PutUint32(header[32:], uint32(ds.NumClass))
+	binary.LittleEndian.PutUint32(header[36:], uint32(pb.Q))
+	binary.LittleEndian.PutUint64(header[40:], math.Float64bits(pb.SketchEps))
+	binary.LittleEndian.PutUint32(header[48:], uint32(binWidth))
+	binary.LittleEndian.PutUint32(header[52:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("ingest: cache write: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("ingest: cache write: %w", err)
+	}
+	return nil
+}
+
+// WriteCacheFile writes the cache atomically: a temp file in the target
+// directory, then a rename, so concurrent readers never see a torn image.
+func WriteCacheFile(path string, ds *datasets.Dataset, pb *datasets.Prebin) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ingest: cache write: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteCache(tmp, ds, pb); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ingest: cache write: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCache decodes a .vbin image into a dataset whose values are bin
+// representatives (the upper boundary of each value's bin, which re-bins
+// to the identical bin index) and whose Prebin carries the cached splits
+// with Quantized set. Training the result with the cache's (eps, q)
+// yields a model bit-identical to training from the original source.
+func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: cache read: %w", err)
+	}
+	if len(data) < vbinHeaderSize || string(data[:4]) != vbinMagic {
+		return nil, fmt.Errorf("ingest: not a .vbin cache (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != vbinVersion {
+		return nil, &CacheMismatchError{Reason: fmt.Sprintf("cache version %d, want %d", v, vbinVersion)}
+	}
+	rows64 := binary.LittleEndian.Uint64(data[8:])
+	cols64 := binary.LittleEndian.Uint64(data[16:])
+	nnz64 := binary.LittleEndian.Uint64(data[24:])
+	// The header is outside the checksum's reach of plausibility: bound the
+	// dimensions before any size arithmetic or allocation can overflow. The
+	// exact per-section length checks below do the rest.
+	const maxDim = 1 << 40
+	if rows64 > maxDim || cols64 > maxDim || nnz64 > maxDim {
+		return nil, fmt.Errorf("ingest: cache corrupt: implausible shape %dx%d, nnz %d", rows64, cols64, nnz64)
+	}
+	rows := int(rows64)
+	cols := int(cols64)
+	nnz := int(nnz64)
+	numClass := int(binary.LittleEndian.Uint32(data[32:]))
+	q := int(binary.LittleEndian.Uint32(data[36:]))
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(data[40:]))
+	binWidth := int(binary.LittleEndian.Uint32(data[48:]))
+	wantCRC := binary.LittleEndian.Uint32(data[52:])
+	if binWidth != 1 && binWidth != 2 {
+		return nil, fmt.Errorf("ingest: cache corrupt: bin width %d", binWidth)
+	}
+	payload := data[vbinHeaderSize:]
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("ingest: cache corrupt: checksum %08x, want %08x", got, wantCRC)
+	}
+
+	off := 0
+	need := func(n int) error {
+		if off+n > len(payload) {
+			return fmt.Errorf("ingest: cache corrupt: truncated payload")
+		}
+		return nil
+	}
+	if err := need(4 * cols); err != nil {
+		return nil, err
+	}
+	counts := make([]int, cols)
+	splitsTotal := 0
+	for f := range counts {
+		counts[f] = int(binary.LittleEndian.Uint32(payload[off:]))
+		splitsTotal += counts[f]
+		if splitsTotal > len(payload) {
+			return nil, fmt.Errorf("ingest: cache corrupt: truncated payload")
+		}
+		off += 4
+	}
+	if err := need(4 * splitsTotal); err != nil {
+		return nil, err
+	}
+	splits := make([][]float32, cols)
+	for f, n := range counts {
+		if n == 0 {
+			continue
+		}
+		s := make([]float32, n)
+		for k := range s {
+			s[k] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+		}
+		splits[f] = s
+	}
+	if err := need(8 * cols); err != nil {
+		return nil, err
+	}
+	featCount := make([]int64, cols)
+	for f := range featCount {
+		featCount[f] = int64(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	if err := need(8 * (cols + 1)); err != nil {
+		return nil, err
+	}
+	colPtr := make([]int64, cols+1)
+	for j := range colPtr {
+		colPtr[j] = int64(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	if colPtr[0] != 0 || (cols >= 0 && colPtr[cols] != int64(nnz)) {
+		return nil, fmt.Errorf("ingest: cache corrupt: colPtr endpoints [%d,%d], want [0,%d]", colPtr[0], colPtr[cols], nnz)
+	}
+	if err := need(4 * nnz); err != nil {
+		return nil, err
+	}
+	inst := make([]uint32, nnz)
+	for k := range inst {
+		inst[k] = binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+	}
+	if err := need(binWidth * nnz); err != nil {
+		return nil, err
+	}
+	bins := make([]uint16, nnz)
+	if binWidth == 1 {
+		for k := range bins {
+			bins[k] = uint16(payload[off])
+			off++
+		}
+	} else {
+		for k := range bins {
+			bins[k] = binary.LittleEndian.Uint16(payload[off:])
+			off += 2
+		}
+	}
+	if err := need(4 * rows); err != nil {
+		return nil, err
+	}
+	labels := make([]float32, rows)
+	for i := range labels {
+		labels[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("ingest: cache corrupt: %d trailing bytes", len(payload)-off)
+	}
+
+	// Transpose the binned columns back into a raw CSR of representative
+	// values: entry (i, f, b) becomes value splits[f][b] (NaN for features
+	// binned without splits, i.e. NaN-only columns).
+	rowCnt := make([]int64, rows+1)
+	for j := 0; j < cols; j++ {
+		if colPtr[j] > colPtr[j+1] || colPtr[j+1] > int64(nnz) {
+			return nil, fmt.Errorf("ingest: cache corrupt: colPtr not monotone at column %d", j)
+		}
+		for k := colPtr[j]; k < colPtr[j+1]; k++ {
+			if int(inst[k]) >= rows {
+				return nil, fmt.Errorf("ingest: cache corrupt: instance %d out of range (rows=%d)", inst[k], rows)
+			}
+			rowCnt[inst[k]+1]++
+		}
+	}
+	rowPtr := make([]int64, rows+1)
+	for i := 0; i < rows; i++ {
+		rowPtr[i+1] = rowPtr[i] + rowCnt[i+1]
+	}
+	feat := make([]uint32, nnz)
+	val := make([]float32, nnz)
+	next := make([]int64, rows)
+	copy(next, rowPtr[:rows])
+	nan := float32(math.NaN())
+	for j := 0; j < cols; j++ {
+		s := splits[j]
+		for k := colPtr[j]; k < colPtr[j+1]; k++ {
+			i := inst[k]
+			p := next[i]
+			feat[p] = uint32(j)
+			if int(bins[k]) < len(s) {
+				val[p] = s[bins[k]]
+			} else if len(s) == 0 && bins[k] == 0 {
+				val[p] = nan
+			} else {
+				return nil, fmt.Errorf("ingest: cache corrupt: bin %d of feature %d out of range (%d bins)", bins[k], j, len(s))
+			}
+			next[i] = p + 1
+		}
+	}
+	x, err := sparse.NewCSR(rows, cols, rowPtr, feat, val)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: cache corrupt: %w", err)
+	}
+	task := datasets.TaskRegression
+	switch {
+	case numClass == 2:
+		task = datasets.TaskBinary
+	case numClass > 2:
+		task = datasets.TaskMulti
+	case numClass < 1:
+		return nil, fmt.Errorf("ingest: cache corrupt: numClass %d", numClass)
+	}
+	return &datasets.Dataset{
+		Name:     name,
+		X:        x,
+		Labels:   labels,
+		NumClass: numClass,
+		Task:     task,
+		Prebin: &datasets.Prebin{
+			SketchEps: eps,
+			Q:         q,
+			Splits:    splits,
+			FeatCount: featCount,
+			Quantized: true,
+		},
+	}, nil
+}
+
+// ReadCacheFile reads a .vbin cache from disk; the dataset is named after
+// the file.
+func ReadCacheFile(path string) (*datasets.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ReadCache(f, name)
+}

@@ -66,6 +66,14 @@ type Options struct {
 	// (default VariantBlockified). Byte counts for all three variants are
 	// reported regardless.
 	Charge Variant
+	// Splits and FeatCount, when both set, are ingestion-derived candidate
+	// splits (and per-feature value counts) for every feature of x; steps
+	// 1–2 of the transformation — sketch build, sketch shuffle and split
+	// derivation — are skipped, and only the split broadcast is charged.
+	// The values must be what the canonical sketch pass would produce;
+	// internal/ingest guarantees that for warm-cache datasets.
+	Splits    [][]float32
+	FeatCount []int64
 }
 
 func (o *Options) setDefaults() error {
@@ -127,6 +135,22 @@ func Transform(cl *cluster.Cluster, x *sparse.CSR, labels []float32, opts Option
 	d := x.Cols()
 	ranges := HorizontalRanges(x.Rows(), w)
 	var report ByteReport
+
+	// Warm path: ingestion already derived the candidate splits, so the
+	// transformation starts at step 3 after broadcasting them.
+	if opts.Splits != nil && opts.FeatCount != nil {
+		if len(opts.Splits) != d || len(opts.FeatCount) != d {
+			return nil, fmt.Errorf("partition: prebin covers %d features, matrix has %d", len(opts.Splits), d)
+		}
+		binner := &sparse.Binner{Splits: opts.Splits}
+		var splitBytes int64
+		for f := 0; f < d; f++ {
+			splitBytes += int64(len(opts.Splits[f])) * 4
+		}
+		cl.Broadcast("transform.splits", splitBytes)
+		report.SplitBroadcast = splitBytes
+		return transformGrouped(cl, x, labels, opts, binner, opts.FeatCount, report)
+	}
 
 	// Step 1: per-worker quantile sketches, repartitioned by feature and
 	// merged into global sketches.
@@ -190,6 +214,16 @@ func Transform(cl *cluster.Cluster, x *sparse.CSR, labels []float32, opts Option
 	cl.PointToPoint("transform.splits", splitBytes) // gather at master
 	cl.Broadcast("transform.splits", splitBytes)
 	report.SplitBroadcast = splitBytes
+	return transformGrouped(cl, x, labels, opts, binner, featCount, report)
+}
+
+// transformGrouped runs steps 3–5 of the transformation — column
+// grouping, blockified repartition and label broadcast — from already
+// derived candidate splits.
+func transformGrouped(cl *cluster.Cluster, x *sparse.CSR, labels []float32, opts Options, binner *sparse.Binner, featCount []int64, report ByteReport) (*Result, error) {
+	w := cl.Workers()
+	d := x.Cols()
+	ranges := HorizontalRanges(x.Rows(), w)
 
 	// Step 3: column grouping with greedy load balancing, plus compact
 	// encoding of each (source worker, destination group) partial column

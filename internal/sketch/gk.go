@@ -1,13 +1,3 @@
-// Package sketch implements the Greenwald–Khanna (GK) quantile sketch used
-// to propose candidate splits for histogram-based GBDT (Section 2.1.2 of
-// the paper, reference [15]).
-//
-// The sketch supports streaming insertion, compression to O(1/eps * log(eps*n))
-// space, rank queries with eps*n additive error, and merging — the operation
-// the distributed sketching step of the horizontal-to-vertical
-// transformation relies on (local per-worker sketches of one feature are
-// merged into a global sketch, Section 4.2.1 step 1). Merging two sketches
-// with errors eps1 and eps2 yields a sketch with error at most eps1+eps2.
 package sketch
 
 import (

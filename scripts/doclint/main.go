@@ -1,0 +1,138 @@
+// Command doclint checks godoc completeness for the packages named on the
+// command line (as directories): every package must have a package
+// comment (staticcheck ST1000 class) and every exported top-level
+// identifier — functions, methods on exported types, types, and
+// const/var specs — must carry a doc comment (ST1020/ST1021/ST1022
+// class). Test files are ignored.
+//
+// Usage:
+//
+//	go run ./scripts/doclint ./gbdt ./internal/ingest ./internal/sketch ./internal/datasets
+//
+// It exits nonzero and lists each undocumented identifier with its
+// position, so CI keeps the godoc surface complete.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and reports undocumented exported
+// declarations, returning the count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && name != "main" {
+			fmt.Printf("%s: package %s has no package comment (ST1000)\n", dir, name)
+			bad++
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				bad += lintDecl(fset, decl)
+			}
+		}
+	}
+	return bad
+}
+
+// lintDecl reports undocumented exported identifiers in one top-level
+// declaration.
+func lintDecl(fset *token.FileSet, decl ast.Decl) int {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return 0
+		}
+		if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+			fmt.Printf("%s: %s is undocumented (ST1020)\n", fset.Position(d.Pos()), d.Name.Name)
+			return 1
+		}
+	case *ast.GenDecl:
+		// A group doc comment covers every spec in the group.
+		if d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != "" {
+			return 0
+		}
+		bad := 0
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && (s.Doc == nil || strings.TrimSpace(s.Doc.Text()) == "") {
+					fmt.Printf("%s: type %s is undocumented (ST1021)\n", fset.Position(s.Pos()), s.Name.Name)
+					bad++
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil && strings.TrimSpace(s.Doc.Text()) != "" {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						fmt.Printf("%s: %s %s is undocumented (ST1022)\n", fset.Position(s.Pos()), d.Tok, n.Name)
+						bad++
+						break
+					}
+				}
+			}
+		}
+		return bad
+	}
+	return 0
+}
+
+// exportedReceiver reports whether the function is a plain function or a
+// method whose receiver type is exported; methods on unexported types are
+// not part of the godoc surface.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

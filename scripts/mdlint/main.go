@@ -1,0 +1,112 @@
+// Command mdlint checks that every relative markdown link in the given
+// files (or .md files under the given directories) points at a path that
+// exists in the repository. External links (http, https, mailto) are not
+// fetched — CI has no business depending on the network — and bare
+// fragments (#heading) are skipped.
+//
+// Usage:
+//
+//	go run ./scripts/mdlint README.md docs
+//
+// It exits nonzero listing each broken link as file:line: target.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target). The
+// target group stops at the first ')' or space (titles are rare enough
+// that "](x y)" is treated as target "x").
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlint <file-or-dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlint: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	broken := 0
+	for _, f := range files {
+		broken += lintFile(f)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// lintFile checks one markdown file's relative links, returning the
+// number broken.
+func lintFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdlint: %v\n", err)
+		return 1
+	}
+	dir := filepath.Dir(path)
+	broken := 0
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Printf("%s:%d: broken link %s\n", path, i+1, m[1])
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// skippable reports whether the link target is external or a bare
+// fragment — out of scope for an offline existence check.
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
