@@ -444,9 +444,10 @@ func BenchmarkInferenceFlatParallel(b *testing.B) {
 // traversal (PredictorOptions.BlockRows), single-threaded so the numbers
 // isolate the kernel, at the batch sizes a serving tier actually sees.
 
-func benchPredictBatch(b *testing.B, blockRows int) {
+func benchPredictBatch(b *testing.B, opts gbdt.PredictorOptions) {
 	model, _, traffic := inferSetup(b)
-	pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{Workers: 1, BlockRows: blockRows})
+	opts.Workers = 1
+	pred, err := gbdt.NewPredictor(model, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -470,11 +471,16 @@ func benchPredictBatch(b *testing.B, blockRows int) {
 
 // BenchmarkPredictRow scores batches row-at-a-time (BlockRows=1), the
 // pre-blocking serving path.
-func BenchmarkPredictRow(b *testing.B) { benchPredictBatch(b, 1) }
+func BenchmarkPredictRow(b *testing.B) { benchPredictBatch(b, gbdt.PredictorOptions{BlockRows: 1}) }
 
 // BenchmarkPredictBlock scores batches through the blocked kernel at the
 // default block size.
-func BenchmarkPredictBlock(b *testing.B) { benchPredictBatch(b, 0) }
+func BenchmarkPredictBlock(b *testing.B) { benchPredictBatch(b, gbdt.PredictorOptions{}) }
+
+// BenchmarkPredictBinned scores batches through the binned (bin-code)
+// engine: uint8/uint16 node thresholds, integer compares, bit-identical
+// margins — the `veroserve -binned` path.
+func BenchmarkPredictBinned(b *testing.B) { benchPredictBatch(b, gbdt.PredictorOptions{Binned: true}) }
 
 // BenchmarkInferenceRowLatency measures single-row latency through the
 // flat engine — the veroserve single-request path — and reports p50/p99.

@@ -1,0 +1,248 @@
+// Command veroload drives a running veroserve with concurrent single-row
+// predict requests and reports client-side latency quantiles plus the
+// server's achieved micro-batching factor, read from /metricz.
+//
+// Closed loop (default): -clients goroutines each keep exactly one
+// request in flight, so offered load adapts to the server — the classic
+// saturation benchmark. Open loop (-rate): requests are dispatched on a
+// fixed schedule regardless of completions, so queueing delay shows up in
+// the latencies instead of throttling the load.
+//
+// Usage:
+//
+//	veroload -url http://localhost:8080 -clients 256 -duration 10s
+//	veroload -url http://localhost:8080 -rate 50000 -clients 1024 -duration 10s
+//
+// Rows are synthetic sparse rows (-features, -density, -seed); the target
+// model only needs to accept that feature space, which holds for any
+// model when indices stay below its feature count.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vero/internal/serve"
+)
+
+// latency histogram: geometric buckets, bucket i covers <= floor<<i.
+const (
+	histBuckets = 30
+	histFloor   = 10 * time.Microsecond
+)
+
+// recorder accumulates latencies lock-free across client goroutines.
+type recorder struct {
+	ok      atomic.Int64
+	errs    atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func (r *recorder) observe(d time.Duration, failed bool) {
+	if failed {
+		r.errs.Add(1)
+		return
+	}
+	r.ok.Add(1)
+	r.sumNs.Add(int64(d))
+	b, bound := 0, histFloor
+	for b < histBuckets-1 && d > bound {
+		b++
+		bound <<= 1
+	}
+	r.buckets[b].Add(1)
+}
+
+// quantile returns the upper bound of the bucket holding quantile q.
+func (r *recorder) quantile(q float64) time.Duration {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = r.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var cum int64
+	bound := histFloor
+	for i, c := range counts {
+		cum += c
+		if cum >= rank || i == len(counts)-1 {
+			return bound
+		}
+		bound <<= 1
+	}
+	return bound
+}
+
+// makeBodies pre-encodes a pool of single-row predict requests so the
+// request loop does no JSON work.
+func makeBodies(rng *rand.Rand, n, features int, density float64) [][]byte {
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		var row serve.SparseRow
+		for f := 0; f < features; f++ {
+			if rng.Float64() < density {
+				row.Indices = append(row.Indices, uint32(f))
+				row.Values = append(row.Values, float32(rng.NormFloat64()))
+			}
+		}
+		if len(row.Indices) == 0 {
+			row.Indices = []uint32{uint32(rng.Intn(features))}
+			row.Values = []float32{float32(rng.NormFloat64())}
+		}
+		b, err := json.Marshal(serve.PredictRequest{Rows: []serve.SparseRow{row}})
+		if err != nil {
+			panic(err)
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+// scrapeBatching fetches the target model's /metricz entry.
+func scrapeBatching(client *http.Client, base, model string) (*serve.MetricsSnapshot, error) {
+	resp, err := client.Get(base + "/metricz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var mr serve.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, err
+	}
+	for i := range mr.Models {
+		if mr.Models[i].Model == model {
+			return &mr.Models[i], nil
+		}
+	}
+	return nil, fmt.Errorf("model %q not in /metricz", model)
+}
+
+func main() {
+	var (
+		base     = flag.String("url", "http://localhost:8080", "veroserve base URL")
+		model    = flag.String("target", serve.DefaultModel, "model name to load")
+		clients  = flag.Int("clients", 64, "concurrent client goroutines")
+		duration = flag.Duration("duration", 10*time.Second, "test length")
+		rate     = flag.Float64("rate", 0, "open-loop target requests/sec across all clients (0 = closed loop)")
+		features = flag.Int("features", 30, "synthetic row feature-space size")
+		density  = flag.Float64("density", 0.4, "synthetic row density")
+		seed     = flag.Int64("seed", 1, "row generator seed")
+	)
+	flag.Parse()
+
+	bodies := makeBodies(rand.New(rand.NewSource(*seed)), 1024, *features, *density)
+	transport := &http.Transport{
+		MaxIdleConns:        *clients,
+		MaxIdleConnsPerHost: *clients,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	url := *base + "/v1/models/" + *model + "/predict"
+
+	before, err := scrapeBatching(client, *base, *model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "veroload: pre-scrape: %v\n", err)
+		os.Exit(1)
+	}
+
+	var rec recorder
+	stop := time.Now().Add(*duration)
+	// Open loop: a dispatcher feeds send-permits at the target rate;
+	// closed loop: nil channel, clients fire back-to-back.
+	var permits chan struct{}
+	if *rate > 0 {
+		permits = make(chan struct{}, *clients)
+		go func() {
+			interval := time.Duration(float64(time.Second) / *rate)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(stop) {
+				<-tick.C
+				select {
+				case permits <- struct{}{}:
+				default:
+					// All clients busy: the schedule slips and the slip
+					// shows up as client-side latency, as open loop should.
+				}
+			}
+			close(permits)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; ; i++ {
+				if permits != nil {
+					if _, ok := <-permits; !ok {
+						return
+					}
+				} else if !time.Now().Before(stop) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					rec.observe(0, true)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				rec.observe(time.Since(t0), resp.StatusCode != http.StatusOK)
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeBatching(client, *base, *model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "veroload: post-scrape: %v\n", err)
+		os.Exit(1)
+	}
+
+	ok, errs := rec.ok.Load(), rec.errs.Load()
+	mode := "closed"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open @ %.0f rps", *rate)
+	}
+	fmt.Printf("veroload: %s loop, %d clients, %v\n", mode, *clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("requests: %d ok, %d errors, %.0f req/s\n", ok, errs, float64(ok)/elapsed.Seconds())
+	if ok > 0 {
+		mean := time.Duration(rec.sumNs.Load() / ok)
+		fmt.Printf("latency: mean %v, p50 %v, p99 %v\n",
+			mean.Round(time.Microsecond), rec.quantile(0.50), rec.quantile(0.99))
+	}
+	if after.Batching != nil && before.Batching != nil {
+		db := after.Batching.Batches - before.Batching.Batches
+		dr := after.Batching.BatchedRows - before.Batching.BatchedRows
+		di := after.Batching.Inline - before.Batching.Inline
+		factor := 0.0
+		if db > 0 {
+			factor = float64(dr) / float64(db)
+		}
+		fmt.Printf("server batching: factor %.2f (%d rows in %d batches, %d inline), queue wait p99 %.3fms\n",
+			factor, dr, db, di, after.Batching.QueueWaitMs.P99)
+	} else {
+		fmt.Printf("server batching: off\n")
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}

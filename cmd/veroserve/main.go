@@ -12,6 +12,12 @@
 // and /v1/predict aliases. With -admin, models can be loaded, hot-swapped
 // and deleted at runtime without dropping traffic.
 //
+// -batch-deadline enables cross-request micro-batching: concurrent
+// single-row predicts coalesce into one blocked scoring call, flushed at
+// -batch-rows rows or when the deadline expires (-model-batch overrides
+// per model). -binned scores through integer bin-code descent for models
+// carrying their candidate splits; margins are bit-identical either way.
+//
 // Endpoints (see internal/serve and docs/SERVING.md for the wire format):
 //
 //	curl localhost:8080/healthz
@@ -22,12 +28,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"vero/gbdt"
@@ -56,8 +66,33 @@ func parseSpec(arg string) (name, path string, err error) {
 	return serve.DefaultModel, arg, nil
 }
 
+// parseBatchOverride splits one -model-batch flag, name=deadline[,rows],
+// into its per-model batching config. A zero deadline disables batching
+// for that model.
+func parseBatchOverride(arg string) (name string, cfg serve.BatchConfig, err error) {
+	eq := strings.IndexByte(arg, '=')
+	if eq <= 0 {
+		return "", cfg, fmt.Errorf("bad -model-batch %q: want name=deadline[,rows]", arg)
+	}
+	name, spec := arg[:eq], arg[eq+1:]
+	if c := strings.IndexByte(spec, ','); c >= 0 {
+		rows, err := strconv.Atoi(spec[c+1:])
+		if err != nil {
+			return "", cfg, fmt.Errorf("bad -model-batch %q rows: %w", arg, err)
+		}
+		cfg.MaxRows = rows
+		spec = spec[:c]
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil {
+		return "", cfg, fmt.Errorf("bad -model-batch %q deadline: %w", arg, err)
+	}
+	cfg.Deadline = d
+	return name, cfg, nil
+}
+
 func main() {
-	var models modelFlags
+	var models, batchOverrides modelFlags
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "prediction goroutines per batch (0 = GOMAXPROCS)")
@@ -65,8 +100,17 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 64, "concurrent predict requests per model before queueing")
 		maxBatch    = flag.Int("max-batch", 10000, "maximum rows per predict request")
 		admin       = flag.Bool("admin", false, "enable model load/hot-swap/delete endpoints")
+
+		batchDeadline = flag.Duration("batch-deadline", 0,
+			"micro-batching flush deadline for concurrent single-row requests (0 disables; try 200us)")
+		batchRows = flag.Int("batch-rows", 0,
+			"rows that flush a micro-batch early (0 = block-rows)")
+		binned = flag.Bool("binned", false,
+			"serve through bin-code descent when the model carries candidate splits (bit-identical margins)")
 	)
 	flag.Var(&models, "model", "model to serve, as name=path or a bare path (repeatable; first is the default)")
+	flag.Var(&batchOverrides, "model-batch",
+		"per-model micro-batching override, as name=deadline[,rows] (repeatable; deadline 0 disables that model's batching)")
 	flag.Parse()
 	if len(models) == 0 {
 		flag.Usage()
@@ -91,13 +135,25 @@ func main() {
 		specs = append(specs, serve.ModelSpec{Name: name, Source: path, Model: model})
 	}
 
+	overrides := map[string]serve.BatchConfig{}
+	for _, arg := range batchOverrides {
+		name, cfg, err := parseBatchOverride(arg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		overrides[name] = cfg
+	}
+
 	srv, err := serve.NewMulti(specs, serve.Options{
-		Workers:      *workers,
-		BlockRows:    *blockRows,
-		MaxInFlight:  *maxInflight,
-		MaxBatchRows: *maxBatch,
-		EnableAdmin:  *admin,
-		Logger:       logger,
+		Workers:        *workers,
+		BlockRows:      *blockRows,
+		MaxInFlight:    *maxInflight,
+		MaxBatchRows:   *maxBatch,
+		Batch:          serve.BatchConfig{Deadline: *batchDeadline, MaxRows: *batchRows},
+		BatchOverrides: overrides,
+		Binned:         *binned,
+		EnableAdmin:    *admin,
+		Logger:         logger,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -114,12 +170,32 @@ func main() {
 	if *admin {
 		logger.Printf("admin endpoints enabled: POST/DELETE /v1/models/{name}")
 	}
+	if *batchDeadline > 0 {
+		logger.Printf("micro-batching on: deadline %v, batch rows %d (0 = block size)", *batchDeadline, *batchRows)
+	}
+	if *binned {
+		logger.Printf("binned inference on: models without candidate splits fall back to float descent")
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// On SIGINT/SIGTERM: stop accepting, then drain the coalescing queues
+	// so every already-enqueued row is scored and answered.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		logger.Printf("shutting down: draining micro-batches")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		srv.Close()
+	}()
 	logger.Printf("serving %d model(s) on %s", len(specs), *addr)
-	logger.Fatal(httpSrv.ListenAndServe())
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		logger.Fatal(err)
+	}
 }

@@ -1,0 +1,144 @@
+package gbdt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// thresholdRows builds sparse rows whose values sit exactly on the model's
+// candidate splits — the boundary cases where binned and float routing
+// could disagree if quantization were off by one — plus out-of-range and
+// between-split values.
+func thresholdRows(rng *rand.Rand, splits [][]float32, rows int) ([][]uint32, [][]float32) {
+	feats := make([][]uint32, rows)
+	vals := make([][]float32, rows)
+	for i := 0; i < rows; i++ {
+		for f, s := range splits {
+			if len(s) == 0 || rng.Float64() < 0.4 {
+				continue
+			}
+			var v float32
+			switch rng.Intn(4) {
+			case 0:
+				v = s[rng.Intn(len(s))] // exactly on a split
+			case 1:
+				v = s[len(s)-1] + 1 // above every split
+			case 2:
+				v = s[0] - 1 // below every split
+			default:
+				k := rng.Intn(len(s))
+				v = s[k] + 1e-4 // just past a split
+			}
+			feats[i] = append(feats[i], uint32(f))
+			vals[i] = append(vals[i], v)
+		}
+	}
+	return feats, vals
+}
+
+// TestBinnedPredictorAllQuadrants is the serving-tier bit-identity
+// property test: for a model trained through each quadrant QD1-QD4, the
+// binned predictor must reproduce the float predictor's margins exactly —
+// on every training row and on adversarial rows placed on the split
+// thresholds themselves.
+func TestBinnedPredictorAllQuadrants(t *testing.T) {
+	ds, err := Synthetic(SyntheticConfig{N: 900, D: 35, C: 3, InformativeRatio: 0.4, Density: 0.4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
+		t.Run(q.String(), func(t *testing.T) {
+			m, _, err := Train(ds, Options{Quadrant: q, Workers: 3, Trees: 4, Layers: 5, Splits: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.HasBins() {
+				t.Fatal("trained model carries no candidate splits")
+			}
+			float, err := NewPredictor(m, PredictorOptions{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			binned, err := NewPredictor(m, PredictorOptions{Workers: 2, Binned: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !binned.Binned() || binned.CodeBits() == 0 {
+				t.Fatal("Binned option did not produce a binned engine")
+			}
+
+			want := float.Predict(ds)
+			got := binned.Predict(ds)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: dataset score[%d] = %v, want %v", q, i, got[i], want[i])
+				}
+			}
+
+			rng := rand.New(rand.NewSource(int64(q)))
+			feats, vals := thresholdRows(rng, m.forest.Splits, 200)
+			wantRows := float.PredictRows(feats, vals)
+			gotRows := binned.PredictRows(feats, vals)
+			for i := range wantRows {
+				if gotRows[i] != wantRows[i] {
+					t.Fatalf("%v: boundary-row score[%d] = %v, want %v", q, i, gotRows[i], wantRows[i])
+				}
+			}
+			k := binned.NumClass()
+			for i := range feats {
+				row := binned.PredictRow(feats[i], vals[i])
+				for c := 0; c < k; c++ {
+					if row[c] != wantRows[i*k+c] {
+						t.Fatalf("%v: PredictRow(%d)[%d] = %v, want %v", q, i, c, row[c], wantRows[i*k+c])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBinnedRequiresSplits pins NewPredictor's refusal to build a binned
+// engine for a model without candidate splits (e.g. decoded from an older
+// serialization).
+func TestBinnedRequiresSplits(t *testing.T) {
+	m, _ := trainSmall(t, 2)
+	m.forest.Splits = nil
+	if m.HasBins() {
+		t.Fatal("HasBins true after clearing splits")
+	}
+	if _, err := NewPredictor(m, PredictorOptions{Binned: true}); err == nil {
+		t.Fatal("NewPredictor(Binned) succeeded without splits")
+	}
+	if _, err := NewPredictor(m, PredictorOptions{}); err != nil {
+		t.Fatalf("float predictor should not need splits: %v", err)
+	}
+}
+
+// TestBinnedSurvivesRoundtrip checks that candidate splits ride through
+// Encode/Decode so a served model file can still compile the binned engine,
+// bit-identically.
+func TestBinnedSurvivesRoundtrip(t *testing.T) {
+	m, ds := trainSmall(t, 3)
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasBins() {
+		t.Fatal("decoded model lost its candidate splits")
+	}
+	binned, err := NewPredictor(back, PredictorOptions{Binned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Predict(ds)
+	got := binned.Predict(ds)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 // per loaded model and share it across request handlers.
 type Predictor struct {
 	flat      *tree.FlatForest
+	binned    *tree.BinnedForest // non-nil when binned inference is on
 	objective string
 	workers   int
 	blockRows int
@@ -31,6 +32,12 @@ type PredictorOptions struct {
 	// to the per-row walk). 0 selects tree.DefaultBlockRows; 1 disables
 	// blocking and scores row-at-a-time.
 	BlockRows int
+	// Binned selects bin-code descent: incoming values are quantized to
+	// uint8/uint16 bin indices against the model's candidate splits and
+	// every node comparison is an integer compare — bit-identical margins
+	// with a smaller node image. Requires a model carrying its candidate
+	// splits (Model.HasBins); NewPredictor fails otherwise.
+	Binned bool
 }
 
 // NewPredictor compiles the model's forest into the flat inference engine.
@@ -50,12 +57,32 @@ func NewPredictor(m *Model, opts PredictorOptions) (*Predictor, error) {
 	if blockRows <= 0 {
 		blockRows = tree.DefaultBlockRows
 	}
-	return &Predictor{
+	p := &Predictor{
 		flat:      flat,
 		objective: m.forest.Objective,
 		workers:   workers,
 		blockRows: blockRows,
-	}, nil
+	}
+	if opts.Binned {
+		binned, err := flat.CompileBinned(m.forest.Splits)
+		if err != nil {
+			return nil, fmt.Errorf("gbdt: compile binned predictor: %w", err)
+		}
+		p.binned = binned
+	}
+	return p, nil
+}
+
+// Binned reports whether the predictor scores through bin-code descent.
+func (p *Predictor) Binned() bool { return p.binned != nil }
+
+// CodeBits returns the binned engine's code width in bits (8 or 16), or 0
+// when binned inference is off.
+func (p *Predictor) CodeBits() int {
+	if p.binned == nil {
+		return 0
+	}
+	return p.binned.CodeBits()
 }
 
 // NumClass returns the per-row score dimensionality (1 for regression and
@@ -72,12 +99,19 @@ func (p *Predictor) Objective() string { return p.objective }
 // PredictRow returns raw scores (margins) for one sparse row, given as
 // parallel feature-id/value slices sorted by feature id.
 func (p *Predictor) PredictRow(feat []uint32, val []float32) []float64 {
+	if p.binned != nil {
+		return p.binned.PredictRow(feat, val)
+	}
 	return p.flat.PredictRow(feat, val)
 }
 
 // PredictRowInto is PredictRow without the allocation; out must have
 // length NumClass.
 func (p *Predictor) PredictRowInto(feat []uint32, val []float32, out []float64) {
+	if p.binned != nil {
+		p.binned.PredictRowInto(feat, val, out)
+		return
+	}
 	p.flat.PredictRowInto(feat, val, out)
 }
 
@@ -85,6 +119,9 @@ func (p *Predictor) PredictRowInto(feat []uint32, val []float32, out []float64) 
 // stride NumClass, scored in parallel by the predictor's worker pool
 // through the blocked batch kernel (see PredictorOptions.BlockRows).
 func (p *Predictor) Predict(ds *Dataset) []float64 {
+	if p.binned != nil {
+		return p.binned.PredictCSRBlocked(ds.X, p.workers, p.blockRows)
+	}
 	if p.blockRows == 1 {
 		return p.flat.PredictCSR(ds.X, p.workers)
 	}
@@ -145,8 +182,12 @@ func (p *Predictor) scoreChunk(feats [][]uint32, vals [][]float32, out []float64
 	k := p.flat.NumClass()
 	if p.blockRows == 1 {
 		for i := lo; i < hi; i++ {
-			p.flat.PredictRowInto(feats[i], vals[i], out[i*k:(i+1)*k])
+			p.PredictRowInto(feats[i], vals[i], out[i*k:(i+1)*k])
 		}
+		return
+	}
+	if p.binned != nil {
+		p.binned.PredictBlock(feats[lo:hi], vals[lo:hi], out[lo*k:hi*k], p.blockRows)
 		return
 	}
 	p.flat.PredictBlock(feats[lo:hi], vals[lo:hi], out[lo*k:hi*k], p.blockRows)

@@ -90,6 +90,10 @@ func (t *trainer) run() (*Result, error) {
 	initScore := t.obj.InitScore(t.ds.Labels)
 	t.allocRunState(initScore)
 	forest := tree.NewForest(t.c, t.cfg.LearningRate, initScore, t.obj.Name(), t.d)
+	// Record the candidate splits the trees' thresholds were drawn from,
+	// so serving can compile the binned (bin-code) inference engine. The
+	// inner slices are immutable after preparation and safe to share.
+	forest.Splits = append([][]float32(nil), t.binner.Splits...)
 
 	prepComp, prepComm, _ := t.cl.Stats().Totals()
 	lastComp, lastComm := prepComp, prepComm

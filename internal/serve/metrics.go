@@ -25,6 +25,25 @@ type modelMetrics struct {
 	rows     atomic.Int64 // instances scored
 	inFlight atomic.Int64 // predict requests currently admitted
 	buckets  [latBuckets]atomic.Int64
+
+	// Micro-batching accounting (see batcher.go). batchedRows/batches is
+	// the achieved batching factor.
+	batches     atomic.Int64             // coalesced batches flushed
+	batchedRows atomic.Int64             // rows scored through batches
+	batchInline atomic.Int64             // rows that took the inline fast path
+	batchFlush  [3]atomic.Int64          // flushes by cause: full, deadline, drain
+	queueWait   [latBuckets]atomic.Int64 // per-row time spent queued
+}
+
+// observeQueueWait records how long one row waited in the coalescing
+// queue before its batch flushed.
+func (m *modelMetrics) observeQueueWait(d time.Duration) {
+	b, bound := 0, latBucketFloor
+	for b < latBuckets-1 && d > bound {
+		b++
+		bound <<= 1
+	}
+	m.queueWait[b].Add(1)
 }
 
 // observe records one completed request.
@@ -53,6 +72,24 @@ type MetricsSnapshot struct {
 	Rows      int64   `json:"rows"`
 	InFlight  int64   `json:"in_flight"`
 	LatencyMs Latency `json:"latency_ms"`
+	// Batching is present when the model serves with micro-batching.
+	Batching *BatchingSnapshot `json:"batching,omitempty"`
+}
+
+// BatchingSnapshot is a model's micro-batching accounting in /metricz.
+type BatchingSnapshot struct {
+	Batches     int64 `json:"batches"`
+	BatchedRows int64 `json:"batched_rows"`
+	// Factor is the achieved batching factor, rows per flushed batch.
+	Factor        float64 `json:"factor"`
+	FlushFull     int64   `json:"flush_full"`
+	FlushDeadline int64   `json:"flush_deadline"`
+	FlushDrain    int64   `json:"flush_drain"`
+	// Inline counts rows that skipped the queue (no concurrent request to
+	// coalesce with) and were scored directly.
+	Inline int64 `json:"inline"`
+	// QueueWaitMs summarizes per-row time spent in the coalescing queue.
+	QueueWaitMs Latency `json:"queue_wait_ms"`
 }
 
 // Latency summarizes the fixed-bucket histogram. P50 and P99 are upper
@@ -65,15 +102,16 @@ type Latency struct {
 }
 
 // snapshot reads the counters. Concurrent updates may land between reads;
-// each individual figure is exact at its read point.
-func (m *modelMetrics) snapshot(name string, version int) MetricsSnapshot {
+// each individual figure is exact at its read point. batching selects
+// whether the micro-batching section is included.
+func (m *modelMetrics) snapshot(name string, version int, batching bool) MetricsSnapshot {
 	var counts [latBuckets]int64
 	var total int64
 	for i := range counts {
 		counts[i] = m.buckets[i].Load()
 		total += counts[i]
 	}
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Model:    name,
 		Version:  version,
 		Requests: m.requests.Load(),
@@ -87,6 +125,32 @@ func (m *modelMetrics) snapshot(name string, version int) MetricsSnapshot {
 			P99:   quantileMs(counts[:], total, 0.99),
 		},
 	}
+	if batching {
+		var waits [latBuckets]int64
+		var waited int64
+		for i := range waits {
+			waits[i] = m.queueWait[i].Load()
+			waited += waits[i]
+		}
+		bs := &BatchingSnapshot{
+			Batches:       m.batches.Load(),
+			BatchedRows:   m.batchedRows.Load(),
+			FlushFull:     m.batchFlush[flushFull].Load(),
+			FlushDeadline: m.batchFlush[flushDeadline].Load(),
+			FlushDrain:    m.batchFlush[flushDrain].Load(),
+			Inline:        m.batchInline.Load(),
+			QueueWaitMs: Latency{
+				Count: waited,
+				P50:   quantileMs(waits[:], waited, 0.50),
+				P99:   quantileMs(waits[:], waited, 0.99),
+			},
+		}
+		if bs.Batches > 0 {
+			bs.Factor = float64(bs.BatchedRows) / float64(bs.Batches)
+		}
+		snap.Batching = bs
+	}
+	return snap
 }
 
 // quantileMs returns the upper bound, in milliseconds, of the bucket

@@ -34,6 +34,10 @@ type handle struct {
 	numFeature int
 	inflight   chan struct{}
 	metrics    *modelMetrics
+	// batcher, when non-nil, coalesces this version's single-row requests.
+	// It is per-version (unlike metrics/inflight): rows it holds are scored
+	// by exactly this predictor, so hot-swaps never mix versions.
+	batcher *batcher
 }
 
 // Registry holds the served models. The zero value is not usable; build
@@ -117,10 +121,20 @@ func (r *Registry) List() []ModelStatus {
 // compile builds a fresh handle for model, reusing prior's shared
 // per-name state when swapping.
 func (r *Registry) compile(name, source string, model *gbdt.Model, prior *handle) (*handle, error) {
-	pred, err := gbdt.NewPredictor(model, gbdt.PredictorOptions{
+	popts := gbdt.PredictorOptions{
 		Workers:   r.opts.Workers,
 		BlockRows: r.opts.BlockRows,
-	})
+		Binned:    r.opts.Binned,
+	}
+	pred, err := gbdt.NewPredictor(model, popts)
+	if err != nil && popts.Binned {
+		// Serving availability beats the binned speedup: models without
+		// usable bin metadata fall back to float descent (bit-identical
+		// margins either way).
+		r.opts.Logger.Printf("serve: model %q: binned engine unavailable, serving float descent: %v", name, err)
+		popts.Binned = false
+		pred, err = gbdt.NewPredictor(model, popts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", name, err)
 	}
@@ -139,6 +153,9 @@ func (r *Registry) compile(name, source string, model *gbdt.Model, prior *handle
 	} else {
 		h.inflight = make(chan struct{}, r.opts.MaxInFlight)
 		h.metrics = &modelMetrics{}
+	}
+	if cfg := r.opts.batchConfig(name); cfg.MaxRows > 1 {
+		h.batcher = newBatcher(pred, cfg, r.opts.clock, h.metrics)
 	}
 	return h, nil
 }
@@ -189,6 +206,7 @@ func (r *Registry) Load(name, source string, model *gbdt.Model) (ModelStatus, er
 func (r *Registry) Swap(name, source string, model *gbdt.Model) (ModelStatus, *ModelStatus, error) {
 	var st ModelStatus
 	var prior *ModelStatus
+	var outgoing *handle
 	err := r.publish(func(next map[string]*handle) error {
 		old := next[name]
 		h, err := r.compile(name, source, model, old)
@@ -198,11 +216,18 @@ func (r *Registry) Swap(name, source string, model *gbdt.Model) (ModelStatus, *M
 		if old != nil {
 			p := old.status()
 			prior = &p
+			outgoing = old
 		}
 		next[name] = h
 		st = h.status()
 		return nil
 	})
+	// Drain the outgoing version's coalescing queue now rather than
+	// letting it wait out its deadline: the queued rows score on the old
+	// predictor and answer as the old version.
+	if err == nil && outgoing != nil && outgoing.batcher != nil {
+		outgoing.batcher.Close()
+	}
 	return st, prior, err
 }
 
@@ -211,20 +236,39 @@ func (r *Registry) Metrics() []MetricsSnapshot {
 	m := *r.models.Load()
 	out := make([]MetricsSnapshot, 0, len(m))
 	for _, h := range m {
-		out = append(out, h.metrics.snapshot(h.name, h.version))
+		out = append(out, h.metrics.snapshot(h.name, h.version, h.batcher != nil))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
 	return out
 }
 
 // Delete unregisters a model. In-flight requests holding its handle
-// finish normally; new requests get 404.
+// finish normally (its coalescing queue is drained immediately); new
+// requests get 404.
 func (r *Registry) Delete(name string) error {
-	return r.publish(func(next map[string]*handle) error {
-		if _, ok := next[name]; !ok {
+	var gone *handle
+	err := r.publish(func(next map[string]*handle) error {
+		h, ok := next[name]
+		if !ok {
 			return fmt.Errorf("serve: model %q not registered", name)
 		}
+		gone = h
 		delete(next, name)
 		return nil
 	})
+	if err == nil && gone.batcher != nil {
+		gone.batcher.Close()
+	}
+	return err
+}
+
+// Close drains every model's pending micro-batches: queued rows are
+// scored and answered, later single-row requests score inline. Call it
+// when shutting the HTTP server down so no request is dropped.
+func (r *Registry) Close() {
+	for _, h := range *r.models.Load() {
+		if h.batcher != nil {
+			h.batcher.Close()
+		}
+	}
 }

@@ -241,7 +241,7 @@ func TestMetricsCarryAcrossSwap(t *testing.T) {
 		t.Fatal(err)
 	}
 	h2, _ := srv.Registry().get(DefaultModel)
-	snap := h2.metrics.snapshot(h2.name, h2.version)
+	snap := h2.metrics.snapshot(h2.name, h2.version, false)
 	if snap.Version != 2 || snap.Requests != 1 || snap.Rows != 4 {
 		t.Fatalf("post-swap snapshot %+v, want carried-over requests", snap)
 	}

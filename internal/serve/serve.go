@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"vero/gbdt"
+	"vero/internal/tree"
 )
 
 // DefaultModel is the name the single-model constructor registers its
@@ -69,6 +70,19 @@ type Options struct {
 	MaxInFlight int
 	// MaxBatchRows rejects predict requests with more rows (default 10000).
 	MaxBatchRows int
+	// Batch enables cross-request micro-batching for every model:
+	// concurrent single-row predict requests coalesce into one blocked
+	// scoring call (see BatchConfig and batcher.go). The zero value
+	// disables batching.
+	Batch BatchConfig
+	// BatchOverrides replaces Batch for specific model names. An override
+	// with zero Deadline disables batching for that model only.
+	BatchOverrides map[string]BatchConfig
+	// Binned scores through bin-code descent when a model carries its
+	// candidate splits (bit-identical margins, smaller node images).
+	// Models without bin metadata fall back to float descent with a log
+	// line.
+	Binned bool
 	// EnableAdmin exposes the model load/swap/delete endpoints. Off by
 	// default: the admin endpoint reads model files from the server's
 	// filesystem, so only enable it on trusted networks.
@@ -76,6 +90,10 @@ type Options struct {
 	// Logger receives load/swap/delete rationale lines (default
 	// log.Default()).
 	Logger *log.Logger
+
+	// clock is the batcher's time source; tests inject a fake to drive
+	// flush deadlines deterministically.
+	clock clock
 }
 
 func (o Options) withDefaults() Options {
@@ -88,7 +106,39 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = log.Default()
 	}
+	if o.clock == nil {
+		o.clock = realClock{}
+	}
 	return o
+}
+
+// batchConfig resolves the effective micro-batching config for one model:
+// the per-name override when present, the global Batch otherwise, with
+// MaxRows defaulted to the scoring block size and clamped to MaxInFlight
+// (admission bounds how many single-row requests can ever queue, so a
+// larger count would never fill). The returned config has MaxRows > 1 iff
+// batching is on.
+func (o Options) batchConfig(name string) BatchConfig {
+	cfg := o.Batch
+	if ov, ok := o.BatchOverrides[name]; ok {
+		cfg = ov
+	}
+	if cfg.Deadline <= 0 {
+		return BatchConfig{}
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = o.BlockRows
+		if cfg.MaxRows <= 0 {
+			cfg.MaxRows = tree.DefaultBlockRows
+		}
+	}
+	if cfg.MaxRows > o.MaxInFlight {
+		cfg.MaxRows = o.MaxInFlight
+	}
+	if cfg.MaxRows <= 1 {
+		return BatchConfig{}
+	}
+	return cfg
 }
 
 // Server serves predictions for a registry of models.
@@ -134,6 +184,12 @@ func NewMulti(specs []ModelSpec, opts Options) (*Server, error) {
 
 // Registry exposes the model registry for programmatic load/swap/delete.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Close drains every model's coalescing queue: rows already enqueued are
+// scored and answered normally, and later requests score inline. Call
+// after (or concurrently with) http.Server.Shutdown so no queued request
+// is dropped.
+func (s *Server) Close() { s.reg.Close() }
 
 // DefaultModelName returns the name served by the legacy aliases.
 func (s *Server) DefaultModelName() string { return s.defaultName }
@@ -182,7 +238,7 @@ func (s *Server) info(st ModelStatus) ModelInfo {
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	h, name, ok := s.resolve(r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("model %q not registered", name)})
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not registered", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.info(h.status()))
@@ -238,8 +294,43 @@ type PredictResponse struct {
 	Probabilities [][]float64 `json:"probabilities,omitempty"`
 }
 
+// apiError is the stable JSON error envelope every non-2xx response
+// carries: {"error": {"code": "...", "message": "..."}}. Code is a
+// machine-readable slug derived from the HTTP status; Message is
+// human-readable detail. Clients should match on Code, never on Message.
 type apiError struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the payload inside the apiError envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an HTTP status to the envelope's stable code slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusServiceUnavailable:
+		return "capacity"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusConflict:
+		return "conflict"
+	default:
+		return "internal"
+	}
+}
+
+// writeError answers with the stable error envelope for status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: ErrorBody{Code: errorCode(status), Message: msg}})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +339,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// no matter what swaps land meanwhile.
 	h, name, ok := s.resolve(r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("model %q not registered", name)})
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not registered", name))
 		return
 	}
 
@@ -258,7 +349,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-h.inflight }()
 	case <-r.Context().Done():
 		h.metrics.rejected.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "request canceled while waiting for capacity"})
+		writeError(w, http.StatusServiceUnavailable, "request canceled while waiting for capacity")
 		return
 	}
 	h.metrics.inFlight.Add(1)
@@ -268,10 +359,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	req, feats, vals, status, err := decodePredictRequest(r.Body, s.opts.MaxBatchRows)
 	if err != nil {
 		h.metrics.observe(time.Since(start), 0, true)
-		writeJSON(w, status, apiError{Error: err.Error()})
+		writeError(w, status, err.Error())
 		return
 	}
-	margins := h.pred.PredictRows(feats, vals)
+	// Single-row requests coalesce with concurrent ones into a shared
+	// blocked scoring call (see batcher.go); multi-row requests are
+	// already batches and score directly, as does everything when the
+	// coalescer declines (batching off, shutdown drain, or no concurrent
+	// request worth waiting for).
+	var margins []float64
+	batched := false
+	if h.batcher != nil && len(feats) == 1 {
+		margins, batched = h.batcher.enqueue(feats[0], vals[0])
+	}
+	if !batched {
+		margins = h.pred.PredictRows(feats, vals)
+	}
 
 	k := h.pred.NumClass()
 	resp := PredictResponse{
@@ -329,32 +432,32 @@ type SwapRequest struct {
 
 func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 	if !s.opts.EnableAdmin {
-		writeJSON(w, http.StatusForbidden, apiError{Error: "admin endpoints disabled (start with admin enabled)"})
+		writeError(w, http.StatusForbidden, "admin endpoints disabled (start with admin enabled)")
 		return
 	}
 	name := r.PathValue("name")
 	var req SwapRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode request: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
 		return
 	}
 	if req.Path == "" {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty path"})
+		writeError(w, http.StatusBadRequest, "empty path")
 		return
 	}
 	data, err := os.ReadFile(req.Path)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "read model: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "read model: "+err.Error())
 		return
 	}
 	model, err := gbdt.DecodeModel(data)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode model: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "decode model: "+err.Error())
 		return
 	}
 	st, prior, err := s.reg.Swap(name, req.Path, model)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	if prior != nil {
@@ -368,16 +471,16 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAdminDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.opts.EnableAdmin {
-		writeJSON(w, http.StatusForbidden, apiError{Error: "admin endpoints disabled (start with admin enabled)"})
+		writeError(w, http.StatusForbidden, "admin endpoints disabled (start with admin enabled)")
 		return
 	}
 	name := r.PathValue("name")
 	if name == s.defaultName {
-		writeJSON(w, http.StatusConflict, apiError{Error: "cannot delete the default model"})
+		writeError(w, http.StatusConflict, "cannot delete the default model")
 		return
 	}
 	if err := s.reg.Delete(name); err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	s.opts.Logger.Printf("serve: deleted model %q (in-flight requests finish on their version)", name)

@@ -58,7 +58,7 @@ func postPredict(t *testing.T, url string, req PredictRequest) (int, PredictResp
 	if resp.StatusCode != http.StatusOK {
 		var e apiError
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return resp.StatusCode, PredictResponse{}, e.Error
+		return resp.StatusCode, PredictResponse{}, e.Error.Message
 	}
 	var out PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {

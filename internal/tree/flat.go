@@ -39,6 +39,7 @@ type FlatForest struct {
 	// unused. Interior nodes hold absolute child indexes.
 	feature     []int32
 	threshold   []float32
+	splitBin    []uint16 // histogram-bin index of threshold (0 on leaves)
 	left        []int32
 	right       []int32
 	defaultLeft []bool
@@ -90,6 +91,7 @@ func Compile(f *Forest) *FlatForest {
 	}
 	ff.feature = make([]int32, 0, total)
 	ff.threshold = make([]float32, 0, total)
+	ff.splitBin = make([]uint16, 0, total)
 	ff.left = make([]int32, 0, total)
 	ff.right = make([]int32, 0, total)
 	ff.defaultLeft = make([]bool, 0, total)
@@ -104,6 +106,7 @@ func Compile(f *Forest) *FlatForest {
 				off := int32(len(ff.weights))
 				ff.feature = append(ff.feature, -1)
 				ff.threshold = append(ff.threshold, 0)
+				ff.splitBin = append(ff.splitBin, 0)
 				ff.left = append(ff.left, off)
 				ff.right = append(ff.right, NoChild)
 				ff.defaultLeft = append(ff.defaultLeft, false)
@@ -121,6 +124,7 @@ func Compile(f *Forest) *FlatForest {
 			}
 			ff.feature = append(ff.feature, n.Feature)
 			ff.threshold = append(ff.threshold, n.SplitValue)
+			ff.splitBin = append(ff.splitBin, n.SplitBin)
 			ff.left = append(ff.left, base+n.Left)
 			ff.right = append(ff.right, base+n.Right)
 			ff.defaultLeft = append(ff.defaultLeft, n.DefaultLeft)
@@ -271,19 +275,29 @@ func (ff *FlatForest) PredictCSR(m *sparse.CSR, workers int) []float64 {
 	if rows == 0 {
 		return out
 	}
+	parallelRowRanges(rows, batchRows, workers, func(lo, hi int) {
+		ff.predictRange(m, lo, hi, out)
+	})
+	return out
+}
+
+// parallelRowRanges invokes fn over [lo, hi) chunks of `chunk` rows from
+// `workers` goroutines (0 or negative means GOMAXPROCS; the worker count
+// never exceeds the chunk count, and a single worker runs inline).
+func parallelRowRanges(rows, chunk, workers int, fn func(lo, hi int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if max := (rows + batchRows - 1) / batchRows; workers > max {
+	if max := (rows + chunk - 1) / chunk; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		ff.predictRange(m, 0, rows, out)
-		return out
+		fn(0, rows)
+		return
 	}
 	next := make(chan int)
 	go func() {
-		for lo := 0; lo < rows; lo += batchRows {
+		for lo := 0; lo < rows; lo += chunk {
 			next <- lo
 		}
 		close(next)
@@ -294,16 +308,15 @@ func (ff *FlatForest) PredictCSR(m *sparse.CSR, workers int) []float64 {
 		go func() {
 			defer wg.Done()
 			for lo := range next {
-				hi := lo + batchRows
+				hi := lo + chunk
 				if hi > rows {
 					hi = rows
 				}
-				ff.predictRange(m, lo, hi, out)
+				fn(lo, hi)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
 }
 
 // predictRange scores rows [lo, hi) with one scratch.
@@ -431,38 +444,9 @@ func (ff *FlatForest) PredictCSRBlocked(m *sparse.CSR, workers, block int) []flo
 	block = ff.blockSize(block)
 	// A parallel work unit is a whole number of blocks.
 	chunk := ((batchRows + block - 1) / block) * block
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if max := (rows + chunk - 1) / chunk; workers > max {
-		workers = max
-	}
-	if workers <= 1 {
-		ff.predictBlockRange(m, 0, rows, out, block)
-		return out
-	}
-	next := make(chan int)
-	go func() {
-		for lo := 0; lo < rows; lo += chunk {
-			next <- lo
-		}
-		close(next)
-	}()
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for lo := range next {
-				hi := lo + chunk
-				if hi > rows {
-					hi = rows
-				}
-				ff.predictBlockRange(m, lo, hi, out, block)
-			}
-		}()
-	}
-	wg.Wait()
+	parallelRowRanges(rows, chunk, workers, func(lo, hi int) {
+		ff.predictBlockRange(m, lo, hi, out, block)
+	})
 	return out
 }
 

@@ -191,6 +191,14 @@ type Forest struct {
 	InitScore    []float64 `json:"init_score"`
 	Objective    string    `json:"objective"`
 	NumFeature   int       `json:"num_feature"`
+	// Splits, when non-nil, are the per-feature candidate split values the
+	// model was trained against: Splits[f] is ascending (nil for features
+	// with no observed values), and every interior node's SplitValue is
+	// exactly Splits[Feature][SplitBin]. They are what the binned inference
+	// engine (CompileBinned) needs to quantize incoming rows into bin codes
+	// at serve time. Models encoded before this field decode with a nil
+	// Splits and serve through float thresholds only.
+	Splits [][]float32 `json:"splits,omitempty"`
 }
 
 // NewForest returns an empty forest.
