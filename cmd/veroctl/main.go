@@ -6,6 +6,7 @@
 //
 //	veroctl train -data train.libsvm -classes 2 -system vero -model model.json
 //	veroctl train -data train.csv -format csv -cache .vero-cache -quadrant auto -model model.json
+//	veroctl train -data train.libsvm -checkpoint-dir ckpt -checkpoint-every 10 -model model.json
 //	veroctl ingest -data train.libsvm -classes 2 -out train.vbin
 //	veroctl eval  -data valid.libsvm -classes 2 -model model.json
 //	veroctl predict -data test.libsvm -classes 2 -model model.json
@@ -24,11 +25,19 @@ import (
 	"time"
 
 	"vero/gbdt"
+	"vero/internal/failpoint"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+		os.Exit(2)
+	}
+	// Arm fault-injection points requested via VERO_FAILPOINTS — the hook
+	// the crash-test harness (scripts/crash_smoke.sh) kills training with.
+	// Unset, this is a no-op and every point stays a dead branch.
+	if err := failpoint.EnableFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "veroctl:", err)
 		os.Exit(2)
 	}
 	var err error
@@ -198,16 +207,22 @@ func cmdTrain(args []string) error {
 	lambda := fs.Float64("lambda", 1.0, "L2 regularization")
 	gamma := fs.Float64("gamma", 0.0, "per-leaf penalty")
 	model := fs.String("model", "model.json", "output model path")
+	ckptDir := fs.String("checkpoint-dir", "", "checkpoint directory: save resumable training state every -checkpoint-every trees and resume from it after a crash")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint period in trees (0 disables checkpointing)")
 	verbose := fs.Bool("v", false, "per-tree progress")
 	finish := ingestFlags(fs)
 	fs.Parse(args)
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
+	if (*ckptDir == "") != (*ckptEvery == 0) {
+		return fmt.Errorf("-checkpoint-dir and -checkpoint-every must be set together")
+	}
 	opts, err := finish(gbdt.Options{
 		System: gbdt.System(*system), Workers: *workers, Concurrent: *concurrent,
 		Trees: *trees, Layers: *layers, Splits: *splits,
 		LearningRate: *eta, Lambda: *lambda, Gamma: *gamma,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
 	}, *classes)
 	if err != nil {
 		return err
@@ -236,6 +251,12 @@ func cmdTrain(args []string) error {
 	m, report, err := gbdt.Train(ds, opts)
 	if err != nil {
 		return err
+	}
+	if report.StartRound > 0 {
+		fmt.Printf("resumed from checkpoint at round %d of %d\n", report.StartRound, *trees)
+	}
+	if report.CheckpointErr != nil {
+		fmt.Fprintf(os.Stderr, "veroctl: warning: checkpointing degraded: %v\n", report.CheckpointErr)
 	}
 	enc, err := m.Encode()
 	if err != nil {

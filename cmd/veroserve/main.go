@@ -21,6 +21,7 @@
 // Endpoints (see internal/serve and docs/SERVING.md for the wire format):
 //
 //	curl localhost:8080/healthz
+//	curl localhost:8080/readyz
 //	curl localhost:8080/v1/models
 //	curl localhost:8080/metricz
 //	curl -d '{"rows":[{"indices":[0,3],"values":[1.5,-2]}],"proba":true}' localhost:8080/v1/predict
@@ -182,13 +183,15 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	// On SIGINT/SIGTERM: stop accepting, then drain the coalescing queues
-	// so every already-enqueued row is scored and answered.
+	// On SIGINT/SIGTERM: flip /readyz to 503 first so load balancers stop
+	// routing, then stop accepting and drain the coalescing queues so
+	// every already-enqueued row is scored and answered.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-stop
-		logger.Printf("shutting down: draining micro-batches")
+		logger.Printf("shutting down: readiness off, draining micro-batches")
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)

@@ -190,6 +190,19 @@ type Options struct {
 
 	Seed int64
 
+	// CheckpointDir, together with CheckpointEvery > 0, makes training
+	// crash-safe: every CheckpointEvery trees the trainer atomically
+	// writes resumable state to CheckpointDir/train.vckp, and a rerun with
+	// the same options and data resumes from the last checkpoint instead
+	// of round zero (Report.StartRound says where it picked up). A
+	// checkpoint whose configuration or dataset fingerprint does not match
+	// is rejected with an error rather than resumed. See
+	// docs/ROBUSTNESS.md.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in trees; zero disables
+	// checkpointing.
+	CheckpointEvery int
+
 	// OnTree is invoked after each tree with the cumulative simulated
 	// time and the new tree.
 	OnTree func(treeIdx int, elapsedSec float64, tr *Tree)
@@ -267,6 +280,13 @@ type Report struct {
 	DataBytes int64
 	// TransformBytes reports the Vero transformation volumes (QD4 only).
 	TransformBytes partition.ByteReport
+	// StartRound is the boosting round training began at: 0 for a fresh
+	// run, k when a checkpoint with k completed trees was resumed.
+	StartRound int
+	// CheckpointErr records a non-fatal checkpoint housekeeping failure
+	// (a periodic save that could not be written, or a completed run's
+	// checkpoint that could not be removed). The model itself is valid.
+	CheckpointErr error
 }
 
 // Train fits a GBDT model to the dataset.
@@ -305,17 +325,19 @@ func newCluster(opts Options) *cluster.Cluster {
 // baseConfig translates the options' hyper-parameters to a core config.
 func baseConfig(opts Options) core.Config {
 	return core.Config{
-		Trees:        opts.Trees,
-		Layers:       opts.Layers,
-		Splits:       opts.Splits,
-		LearningRate: opts.LearningRate,
-		Lambda:       opts.Lambda,
-		Gamma:        opts.Gamma,
-		MinChildHess: opts.MinChildHess,
-		Objective:    opts.Objective,
-		NumClass:     opts.NumClass,
-		Seed:         opts.Seed,
-		OnTree:       opts.OnTree,
+		Trees:           opts.Trees,
+		Layers:          opts.Layers,
+		Splits:          opts.Splits,
+		LearningRate:    opts.LearningRate,
+		Lambda:          opts.Lambda,
+		Gamma:           opts.Gamma,
+		MinChildHess:    opts.MinChildHess,
+		Objective:       opts.Objective,
+		NumClass:        opts.NumClass,
+		Seed:            opts.Seed,
+		CheckpointDir:   opts.CheckpointDir,
+		CheckpointEvery: opts.CheckpointEvery,
+		OnTree:          opts.OnTree,
 	}
 }
 
@@ -352,6 +374,8 @@ func buildReport(cl *cluster.Cluster, res *core.Result) *Report {
 		HistogramPeakBytes: cl.Stats().Mem("histogram").MaxPeak(),
 		DataBytes:          cl.Stats().Mem("data").MaxPeak(),
 		TransformBytes:     res.TransformBytes,
+		StartRound:         res.StartRound,
+		CheckpointErr:      res.CheckpointErr,
 	}
 }
 

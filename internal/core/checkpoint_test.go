@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+	"vero/internal/failpoint"
+)
+
+func checkpointDataset(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: 300, D: 25, C: 3, InformativeRatio: 0.4, Density: 0.4, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func checkpointConfig(q Quadrant, dir string) Config {
+	return Config{
+		Quadrant: q, Trees: 11, Layers: 4, Splits: 12,
+		CheckpointDir: dir, CheckpointEvery: 4,
+	}
+}
+
+func trainEncoded(t *testing.T, ds *datasets.Dataset, cfg Config) ([]byte, *Result) {
+	t.Helper()
+	res, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := res.Forest.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, res
+}
+
+// TestCheckpointResumeBitIdentical is the crash-safety property test: for
+// every quadrant, a run killed (via the core.aftertree failpoint) after
+// every single round and then resumed must produce Encode output
+// byte-identical to an uninterrupted run. Rounds without a checkpoint
+// boundary behind them restart from an earlier checkpoint (or scratch) and
+// must still converge to the same bytes.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	ds := checkpointDataset(t)
+	for _, q := range []Quadrant{QD1, QD2, QD3, QD4} {
+		t.Run(q.String(), func(t *testing.T) {
+			cfgClean := checkpointConfig(q, "")
+			want, _ := trainEncoded(t, ds, cfgClean)
+
+			for crashAfter := 1; crashAfter < cfgClean.Trees; crashAfter++ {
+				dir := t.TempDir()
+				cfg := checkpointConfig(q, dir)
+
+				if err := failpoint.Enable(FailpointAfterTree, strconv.Itoa(crashAfter)+"*error"); err != nil {
+					t.Fatal(err)
+				}
+				_, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg)
+				failpoint.Reset()
+				if !errors.Is(err, failpoint.ErrInjected) {
+					t.Fatalf("crash at %d: want injected failure, got %v", crashAfter, err)
+				}
+
+				got, res := trainEncoded(t, ds, cfg)
+				wantStart := (crashAfter / cfg.CheckpointEvery) * cfg.CheckpointEvery
+				if res.StartRound != wantStart {
+					t.Fatalf("crash at %d: resumed from round %d, want %d", crashAfter, res.StartRound, wantStart)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("crash at %d: resumed model differs from uninterrupted run", crashAfter)
+				}
+				if _, err := os.Stat(filepath.Join(dir, CheckpointFile)); !os.IsNotExist(err) {
+					t.Fatalf("crash at %d: checkpoint not removed after completed run (stat err %v)", crashAfter, err)
+				}
+			}
+		})
+	}
+}
+
+// crashLeavingCheckpoint trains with a crash after round crashAfter so a
+// checkpoint image is left behind in dir.
+func crashLeavingCheckpoint(t *testing.T, ds *datasets.Dataset, cfg Config, crashAfter int) {
+	t.Helper()
+	if err := failpoint.Enable(FailpointAfterTree, strconv.Itoa(crashAfter)+"*error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Reset()
+	if _, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+}
+
+// TestCheckpointConfigMismatchRejected: resuming under a different
+// model-affecting configuration must fail with a descriptive error, not
+// silently train a frankenmodel.
+func TestCheckpointConfigMismatchRejected(t *testing.T) {
+	ds := checkpointDataset(t)
+	dir := t.TempDir()
+	cfg := checkpointConfig(QD4, dir)
+	crashLeavingCheckpoint(t, ds, cfg, 5)
+
+	mutations := map[string]func(*Config){
+		"learning rate": func(c *Config) { c.LearningRate = 0.1 },
+		"layers":        func(c *Config) { c.Layers = 5 },
+		"trees":         func(c *Config) { c.Trees = 30 },
+		"quadrant":      func(c *Config) { c.Quadrant = QD2 },
+		"lambda":        func(c *Config) { c.Lambda = 2 },
+	}
+	for name, mutate := range mutations {
+		bad := cfg
+		mutate(&bad)
+		_, err := Train(cluster.New(3, cluster.Gigabit()), ds, bad)
+		if err == nil {
+			t.Fatalf("%s change: resumed from mismatched checkpoint without error", name)
+		}
+		if !strings.Contains(err.Error(), "config changed") {
+			t.Fatalf("%s change: error does not explain the mismatch: %v", name, err)
+		}
+	}
+
+	// Worker count changes the histogram aggregation order, so it is part
+	// of the config hash even though it lives in the cluster, not Config.
+	if _, err := Train(cluster.New(5, cluster.Gigabit()), ds, cfg); err == nil || !strings.Contains(err.Error(), "config changed") {
+		t.Fatalf("worker change: want config-changed error, got %v", err)
+	}
+
+	// The original configuration still resumes cleanly.
+	if _, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg); err != nil {
+		t.Fatalf("original config no longer resumes: %v", err)
+	}
+}
+
+// TestCheckpointDataMismatchRejected: resuming against different training
+// data must fail with a descriptive error.
+func TestCheckpointDataMismatchRejected(t *testing.T) {
+	ds := checkpointDataset(t)
+	dir := t.TempDir()
+	cfg := checkpointConfig(QD2, dir)
+	crashLeavingCheckpoint(t, ds, cfg, 5)
+
+	other, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: 300, D: 25, C: 3, InformativeRatio: 0.4, Density: 0.4, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(cluster.New(3, cluster.Gigabit()), other, cfg); err == nil || !strings.Contains(err.Error(), "data changed") {
+		t.Fatalf("want data-changed error, got %v", err)
+	}
+}
+
+// TestCheckpointCorruptionRejected: a torn, truncated or bit-flipped
+// checkpoint image must be rejected with an error telling the operator to
+// delete it — never resumed from.
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	ds := checkpointDataset(t)
+	dir := t.TempDir()
+	cfg := checkpointConfig(QD1, dir)
+	crashLeavingCheckpoint(t, ds, cfg, 5)
+	path := filepath.Join(dir, CheckpointFile)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string][]byte{
+		"truncated header": good[:8],
+		"truncated body":   good[:len(good)-7],
+		"bad magic":        append([]byte("JUNK"), good[4:]...),
+		"empty":            {},
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	corruptions["bit flip"] = flipped
+
+	for name, img := range corruptions {
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg)
+		if err == nil {
+			t.Fatalf("%s: resumed from corrupt checkpoint", name)
+		}
+		if !strings.Contains(err.Error(), "delete") {
+			t.Fatalf("%s: error does not tell the operator what to do: %v", name, err)
+		}
+	}
+
+	// Restore the good image: it must still resume.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg); err != nil {
+		t.Fatalf("pristine checkpoint no longer resumes: %v", err)
+	}
+}
+
+// TestCheckpointTornWriteDetected drives the checkpoint.torn failpoint — a
+// simulated non-atomic writer crash that leaves a half-written image at
+// the final path — and checks the next run rejects it.
+func TestCheckpointTornWriteDetected(t *testing.T) {
+	ds := checkpointDataset(t)
+	dir := t.TempDir()
+	cfg := checkpointConfig(QD3, dir)
+
+	if err := failpoint.Enable(FailpointCheckpointTorn, "error"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg)
+	failpoint.Reset()
+	if err != nil {
+		t.Fatalf("training failed outright on checkpoint write error: %v", err)
+	}
+	if res.CheckpointErr == nil {
+		t.Fatal("torn write not recorded in Result.CheckpointErr")
+	}
+
+	// The torn image the failpoint left behind must be detected. (The
+	// completed run above removes the checkpoint path on success, so
+	// re-tear one image in place first.)
+	crashTorn := func() {
+		if err := failpoint.Enable(FailpointCheckpointTorn, "error"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Reset()
+		if err := failpoint.Enable(FailpointAfterTree, "5*error"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg); !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("want injected crash, got %v", err)
+		}
+	}
+	crashTorn()
+	_, err = Train(cluster.New(3, cluster.Gigabit()), ds, cfg)
+	if err == nil || !strings.Contains(err.Error(), "delete") {
+		t.Fatalf("torn image not rejected: %v", err)
+	}
+}
+
+// TestCheckpointSaveFailureNonFatal: a clean checkpoint write failure
+// (ENOSPC-style) must not kill training — the run completes and records
+// the error, and the model matches a run without checkpointing at all.
+func TestCheckpointSaveFailureNonFatal(t *testing.T) {
+	ds := checkpointDataset(t)
+	want, _ := trainEncoded(t, ds, checkpointConfig(QD4, ""))
+
+	dir := t.TempDir()
+	cfg := checkpointConfig(QD4, dir)
+	if err := failpoint.Enable(FailpointCheckpointSave, "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Reset()
+	res, err := Train(cluster.New(3, cluster.Gigabit()), ds, cfg)
+	if err != nil {
+		t.Fatalf("training failed on checkpoint save error: %v", err)
+	}
+	if res.CheckpointErr == nil || !errors.Is(res.CheckpointErr, failpoint.ErrInjected) {
+		t.Fatalf("CheckpointErr = %v, want injected save failure", res.CheckpointErr)
+	}
+	got, err := res.Forest.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("model differs after non-fatal checkpoint failures")
+	}
+}

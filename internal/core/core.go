@@ -176,6 +176,15 @@ type Config struct {
 
 	Seed int64
 
+	// CheckpointDir, with CheckpointEvery > 0, enables crash-safe
+	// training: every CheckpointEvery trees the trainer atomically writes
+	// resumable state (partial forest, round, config hash, dataset
+	// fingerprint) to CheckpointDir/train.vckp, and Train resumes from a
+	// matching checkpoint instead of starting over. See checkpoint.go and
+	// docs/ROBUSTNESS.md.
+	CheckpointDir   string
+	CheckpointEvery int
+
 	// OnTree, when set, is invoked after each tree with the cumulative
 	// simulated time (measured computation + simulated communication)
 	// and the tree just trained — the hook the convergence experiments
@@ -245,6 +254,14 @@ type Result struct {
 	// TransformBytes is the QD4 transformation's byte report (zero for
 	// other quadrants).
 	TransformBytes partition.ByteReport
+	// StartRound is the boosting round training began at: 0 for a fresh
+	// run, k when a checkpoint with k completed trees was resumed.
+	StartRound int
+	// CheckpointErr records the last non-fatal checkpoint housekeeping
+	// failure (a failed periodic save, or a failed removal of the
+	// checkpoint after a completed run). Training itself succeeded; the
+	// caller decides whether a missing checkpoint is worth surfacing.
+	CheckpointErr error
 }
 
 // Train runs distributed GBDT over the dataset with the given policy. The
@@ -271,7 +288,23 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 	if err := t.prepare(); err != nil {
 		return nil, err
 	}
-	res, err := t.run()
+	var ck *checkpoint
+	if path := cfg.checkpointPath(); path != "" {
+		// Fingerprints are derived after auto-quadrant resolution and
+		// preparation so they cover the concrete policy and the binner the
+		// checkpointed trees were grown against.
+		t.ckptConfigHash = t.configHash()
+		t.ckptDataFP = t.datasetFingerprint()
+		if ck, err = t.loadCheckpoint(path); err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			if err := t.verifyResume(ck.forest); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res, err := t.run(ck)
 	if err != nil {
 		return nil, err
 	}

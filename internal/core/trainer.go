@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
+	"os"
+
 	"vero/internal/cluster"
 	"vero/internal/datasets"
+	"vero/internal/failpoint"
 	"vero/internal/histogram"
 	"vero/internal/loss"
 	"vero/internal/sparse"
@@ -69,6 +73,11 @@ type trainer struct {
 
 	preds, grads, hessv []float64 // n*c, row-major
 
+	// ckptConfigHash and ckptDataFP fingerprint this run for checkpoint
+	// matching; set by Train only when checkpointing is on.
+	ckptConfigHash string
+	ckptDataFP     string
+
 	// eng is the quadrant strategy prep.go constructed for cfg.Quadrant.
 	eng engine
 }
@@ -86,7 +95,7 @@ func (t *trainer) allocRunState(initScore []float64) {
 	t.eng.beginRun()
 }
 
-func (t *trainer) run() (*Result, error) {
+func (t *trainer) run(ck *checkpoint) (*Result, error) {
 	initScore := t.obj.InitScore(t.ds.Labels)
 	t.allocRunState(initScore)
 	forest := tree.NewForest(t.c, t.cfg.LearningRate, initScore, t.obj.Name(), t.d)
@@ -95,14 +104,35 @@ func (t *trainer) run() (*Result, error) {
 	// inner slices are immutable after preparation and safe to share.
 	forest.Splits = append([][]float32(nil), t.binner.Splits...)
 
+	start := 0
+	if ck != nil {
+		// Adopt the checkpointed trees and replay them through the engine
+		// so the prediction state is bit-identical to having trained them;
+		// boosting then continues from round start.
+		forest.Trees = ck.forest.Trees
+		t.resume(ck)
+		start = ck.round
+	}
+
 	prepComp, prepComm, _ := t.cl.Stats().Totals()
 	lastComp, lastComm := prepComp, prepComm
-	res := &Result{Forest: forest, PrepSeconds: prepComp + prepComm, TransformBytes: t.eng.transformReport()}
+	res := &Result{Forest: forest, StartRound: start, PrepSeconds: prepComp + prepComm, TransformBytes: t.eng.transformReport()}
 
-	for ti := 0; ti < t.cfg.Trees; ti++ {
+	ckptPath := t.cfg.checkpointPath()
+	for ti := start; ti < t.cfg.Trees; ti++ {
 		t.computeGradients()
 		tr := t.trainTree()
 		forest.Append(tr)
+		if ckptPath != "" && (ti+1)%t.cfg.CheckpointEvery == 0 && ti+1 < t.cfg.Trees {
+			// A failed save is non-fatal: the run keeps training with the
+			// previous checkpoint (or none) on disk and reports the error.
+			if err := t.saveCheckpoint(ckptPath, forest, ti+1); err != nil {
+				res.CheckpointErr = err
+			}
+		}
+		if err := failpoint.Inject(FailpointAfterTree); err != nil {
+			return nil, fmt.Errorf("core: training aborted after round %d: %w", ti+1, err)
+		}
 		comp, comm, _ := t.cl.Stats().Totals()
 		res.PerTreeSeconds = append(res.PerTreeSeconds, (comp-lastComp)+(comm-lastComm))
 		lastComp, lastComm = comp, comm
@@ -111,6 +141,13 @@ func (t *trainer) run() (*Result, error) {
 		}
 		if t.cfg.ShouldStop != nil && t.cfg.ShouldStop(ti) {
 			break
+		}
+	}
+	if ckptPath != "" {
+		// The run completed; a stale checkpoint would resume a finished
+		// model, so remove it.
+		if err := os.Remove(ckptPath); err != nil && !os.IsNotExist(err) {
+			res.CheckpointErr = err
 		}
 	}
 	// Release the final tree's remaining histograms (the last layer's

@@ -95,7 +95,7 @@ func TestHistogramPoolRecycles(t *testing.T) {
 		// finishes, so reuse is cross-tree: the avoidance factor grows
 		// with the tree count (~Trees; the paper trains T=100).
 		tr := newTestTrainer(t, cl, ds, Config{Quadrant: q, Trees: 20, Layers: 4, Splits: 8})
-		if _, err := tr.run(); err != nil {
+		if _, err := tr.run(nil); err != nil {
 			t.Fatalf("%v: %v", q, err)
 		}
 		gets, reuses := tr.pool.Stats()

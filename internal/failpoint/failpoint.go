@@ -1,0 +1,206 @@
+// Package failpoint provides name-registered fault-injection points for
+// crash and corruption testing. Production code marks its failure-prone
+// seams with a single call:
+//
+//	if err := failpoint.Inject("checkpoint.save"); err != nil {
+//	        return err
+//	}
+//
+// When no point is armed — the production state — Inject is one atomic
+// load and a branch; the injection machinery is never touched. Tests (and
+// the crash harness, via the VERO_FAILPOINTS environment variable) arm
+// points by name with a small spec grammar:
+//
+//	failpoint.Enable("core.aftertree", "3*error") // fail on the 3rd hit
+//	VERO_FAILPOINTS='core.aftertree=5*exit(3);ingest.readcache=error'
+//
+// A spec is [N*]kind[(arg)]:
+//
+//	error      return ErrInjected from Inject
+//	panic      panic with the point name
+//	exit       os.Exit(3), simulating a hard crash (exit(N) picks the code)
+//	N*kind     stay dormant for the first N-1 hits, fire from the Nth on
+//
+// Hit counting is per point and concurrency-safe, so a point inside a
+// worker pool fires deterministically on the Nth evaluation in program
+// order of that point.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by Inject at an armed "error" point.
+// Callers that want to distinguish injected failures from real ones can
+// errors.Is against it; production code should treat it like any error.
+var ErrInjected = errors.New("failpoint: injected failure")
+
+// EnvVar is the environment variable EnableFromEnv reads.
+const EnvVar = "VERO_FAILPOINTS"
+
+type kind int
+
+const (
+	kindError kind = iota
+	kindPanic
+	kindExit
+)
+
+// point is one armed injection point.
+type point struct {
+	mu       sync.Mutex
+	kind     kind
+	after    int // fire on the after-th hit and every one following (1-based)
+	hits     int
+	exitCode int
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	// armed is the production fast path: false means Inject returns
+	// immediately without looking anything up.
+	armed atomic.Bool
+)
+
+// Enable arms the named point with a spec ([N*]kind[(arg)], see the
+// package comment). Re-enabling an armed point replaces its spec and
+// resets its hit count.
+func Enable(name, spec string) error {
+	p, err := parseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("failpoint %q: %w", name, err)
+	}
+	if name == "" {
+		return fmt.Errorf("failpoint: empty name")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = p
+	armed.Store(true)
+	return nil
+}
+
+// Disable disarms the named point; unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+	armed.Store(len(points) > 0)
+}
+
+// Reset disarms every point, returning the package to its production
+// no-op state. Tests defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	armed.Store(false)
+}
+
+// Enabled reports whether any point is armed.
+func Enabled() bool { return armed.Load() }
+
+// EnableFromEnv arms every point listed in VERO_FAILPOINTS
+// ("name=spec;name=spec", comma also accepted). An unset or empty
+// variable is a no-op; a malformed entry is an error naming it.
+func EnableFromEnv() error {
+	env := os.Getenv(EnvVar)
+	if env == "" {
+		return nil
+	}
+	for _, entry := range strings.FieldsFunc(env, func(r rune) bool { return r == ';' || r == ',' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: malformed %s entry %q (want name=spec)", EnvVar, entry)
+		}
+		if err := Enable(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inject evaluates the named point. Disarmed (the production state) it
+// returns nil after one atomic load. Armed, it counts the hit and — once
+// the point's trigger count is reached — fails with the configured kind:
+// returns ErrInjected, panics, or exits the process.
+func Inject(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.hits++
+	fire := p.hits >= p.after
+	p.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch p.kind {
+	case kindPanic:
+		panic("failpoint: injected panic at " + name)
+	case kindExit:
+		fmt.Fprintf(os.Stderr, "failpoint: injected exit(%d) at %s\n", p.exitCode, name)
+		os.Exit(p.exitCode)
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, name)
+}
+
+// parseSpec reads "[N*]kind[(arg)]".
+func parseSpec(spec string) (*point, error) {
+	p := &point{after: 1, exitCode: 3}
+	rest := spec
+	if n, tail, ok := strings.Cut(rest, "*"); ok {
+		after, err := strconv.Atoi(n)
+		if err != nil || after < 1 {
+			return nil, fmt.Errorf("bad trigger count %q in spec %q", n, spec)
+		}
+		p.after = after
+		rest = tail
+	}
+	arg := ""
+	if open := strings.IndexByte(rest, '('); open >= 0 {
+		if !strings.HasSuffix(rest, ")") {
+			return nil, fmt.Errorf("unclosed argument in spec %q", spec)
+		}
+		arg = rest[open+1 : len(rest)-1]
+		rest = rest[:open]
+	}
+	switch rest {
+	case "error":
+		p.kind = kindError
+	case "panic":
+		p.kind = kindPanic
+	case "exit":
+		p.kind = kindExit
+		if arg != "" {
+			code, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("bad exit code %q in spec %q", arg, spec)
+			}
+			p.exitCode = code
+		}
+	default:
+		return nil, fmt.Errorf("unknown kind %q in spec %q (want error, panic or exit)", rest, spec)
+	}
+	if p.kind != kindExit && arg != "" {
+		return nil, fmt.Errorf("kind %q takes no argument (spec %q)", rest, spec)
+	}
+	return p, nil
+}

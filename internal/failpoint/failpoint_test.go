@@ -1,0 +1,165 @@
+package failpoint
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("fresh package reports armed")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disarmed Inject: %v", err)
+	}
+}
+
+func TestErrorKindFires(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not armed after Enable")
+	}
+	err := Inject("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := Inject("other"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	Disable("p")
+	if Enabled() {
+		t.Fatal("still armed after Disable of the only point")
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestTriggerCount(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "3*error"); err != nil {
+		t.Fatal(err)
+	}
+	for hit := 1; hit <= 5; hit++ {
+		err := Inject("p")
+		if hit < 3 && err != nil {
+			t.Fatalf("hit %d fired early: %v", hit, err)
+		}
+		if hit >= 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d did not fire: %v", hit, err)
+		}
+	}
+}
+
+func TestTriggerCountConcurrent(t *testing.T) {
+	defer Reset()
+	const workers, perWorker = 8, 50
+	if err := Enable("p", "100*error"); err != nil {
+		t.Fatal(err)
+	}
+	var fired, clean int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := Inject("p")
+				mu.Lock()
+				if err != nil {
+					fired++
+				} else {
+					clean++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// 400 hits against a fire-from-100 spec: exactly 99 dormant.
+	if clean != 99 || fired != workers*perWorker-99 {
+		t.Fatalf("clean=%d fired=%d, want 99 and %d", clean, fired, workers*perWorker-99)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic kind did not panic")
+		}
+	}()
+	_ = Inject("p")
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	defer Reset()
+	t.Setenv(EnvVar, " a=error ; b=2*error , c=exit(7) ")
+	if err := EnableFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(Inject("a"), ErrInjected) {
+		t.Fatal("a not armed")
+	}
+	if Inject("b") != nil {
+		t.Fatal("b fired on first hit despite 2* prefix")
+	}
+	if !errors.Is(Inject("b"), ErrInjected) {
+		t.Fatal("b did not fire on second hit")
+	}
+	mu.Lock()
+	c := points["c"]
+	mu.Unlock()
+	if c == nil || c.kind != kindExit || c.exitCode != 7 {
+		t.Fatalf("c parsed wrong: %+v", c)
+	}
+
+	os.Unsetenv(EnvVar)
+	Reset()
+	if err := EnableFromEnv(); err != nil {
+		t.Fatalf("unset env: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("unset env armed points")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"", "boom", "0*error", "x*error", "error(5)", "exit(x)", "exit(3"} {
+		if err := Enable("p", spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if err := Enable("", "error"); err == nil {
+		t.Error("empty name accepted")
+	}
+	t.Setenv(EnvVar, "justaname")
+	if err := EnableFromEnv(); err == nil {
+		t.Error("malformed env entry accepted")
+	}
+}
+
+func TestReEnableResetsHits(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "2*error"); err != nil {
+		t.Fatal(err)
+	}
+	_ = Inject("p") // hit 1, dormant
+	if err := Enable("p", "2*error"); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("p") != nil {
+		t.Fatal("hit count not reset by re-Enable")
+	}
+}

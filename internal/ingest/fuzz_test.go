@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"reflect"
 	"strings"
@@ -111,6 +112,23 @@ func FuzzReadCache(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:vbinHeaderSize])
 	f.Add([]byte("VBIN junk"))
+	// Truncation mutants: a valid image cut inside each payload section,
+	// and a valid header over an empty payload.
+	img := buf.Bytes()
+	for _, frac := range []int{2, 3, 4, 8} {
+		if cut := len(img) / frac; cut > vbinHeaderSize {
+			f.Add(img[:cut])
+		}
+	}
+	f.Add(img[:len(img)-1])
+	f.Add(img[:vbinHeaderSize+4])
+	// Oversized-section-table mutant: the header (uncovered by the CRC)
+	// claims huge dimensions over a tiny payload.
+	huge := append([]byte(nil), img[:vbinHeaderSize+16]...)
+	binary.LittleEndian.PutUint64(huge[8:], 1<<39)  // rows
+	binary.LittleEndian.PutUint64(huge[16:], 1<<39) // cols
+	binary.LittleEndian.PutUint64(huge[24:], 1<<39) // nnz
+	f.Add(huge)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadCache(bytes.NewReader(data), "fuzz")
 		if err != nil {

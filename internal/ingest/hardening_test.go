@@ -1,0 +1,141 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"vero/internal/datasets"
+	"vero/internal/failpoint"
+)
+
+// sampleCacheImage builds one valid .vbin image for corruption tests.
+func sampleCacheImage(t *testing.T) []byte {
+	t.Helper()
+	ds, err := datasets.Synthetic(datasets.SyntheticConfig{
+		N: 50, D: 10, C: 2, InformativeRatio: 0.4, Density: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := Prebinned(ds, DefaultSketchEps, 8)
+	var buf bytes.Buffer
+	if err := WriteCache(&buf, ds, pb); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadCacheEveryTruncationRejected cuts a valid image at every single
+// byte offset: each prefix must come back as a wrapped ErrCacheCorrupt (or
+// a version mismatch for the degenerate sub-header prefixes) — never a
+// panic, never an accepted dataset.
+func TestReadCacheEveryTruncationRejected(t *testing.T) {
+	img := sampleCacheImage(t)
+	for cut := 0; cut < len(img); cut++ {
+		_, err := ReadCache(bytes.NewReader(img[:cut]), "trunc")
+		if err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(img))
+		}
+		var mismatch *CacheMismatchError
+		if !errors.Is(err, ErrCacheCorrupt) && !errors.As(err, &mismatch) {
+			t.Fatalf("truncation at %d: error does not wrap ErrCacheCorrupt: %v", cut, err)
+		}
+	}
+	if _, err := ReadCache(bytes.NewReader(img), "whole"); err != nil {
+		t.Fatalf("untruncated image rejected: %v", err)
+	}
+}
+
+// TestReadCacheOversizedHeaderRejected forges headers claiming huge
+// section tables over a tiny payload. The header sits outside the CRC, so
+// the reader must cross-check it against the file size and reject before
+// allocating anything of the claimed magnitude.
+func TestReadCacheOversizedHeaderRejected(t *testing.T) {
+	img := sampleCacheImage(t)
+	for _, field := range []struct {
+		name string
+		off  int
+	}{
+		{"rows", 8}, {"cols", 16}, {"nnz", 24},
+	} {
+		for _, dim := range []uint64{1 << 20, 1 << 39, 1 << 40} {
+			bad := append([]byte(nil), img...)
+			binary.LittleEndian.PutUint64(bad[field.off:], dim)
+			_, err := ReadCache(bytes.NewReader(bad), "oversized")
+			if err == nil {
+				t.Fatalf("%s=%d accepted", field.name, dim)
+			}
+			if !errors.Is(err, ErrCacheCorrupt) {
+				t.Fatalf("%s=%d: error does not wrap ErrCacheCorrupt: %v", field.name, dim, err)
+			}
+		}
+	}
+	// Beyond the plausibility bound entirely.
+	bad := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint64(bad[24:], 1<<50)
+	if _, err := ReadCache(bytes.NewReader(bad), "absurd"); !errors.Is(err, ErrCacheCorrupt) {
+		t.Fatalf("nnz=1<<50: %v", err)
+	}
+}
+
+// TestReadCacheBitFlipRejected flips one payload bit: the checksum must
+// catch it.
+func TestReadCacheBitFlipRejected(t *testing.T) {
+	img := sampleCacheImage(t)
+	bad := append([]byte(nil), img...)
+	bad[vbinHeaderSize+len(bad)/2] ^= 0x10
+	_, err := ReadCache(bytes.NewReader(bad), "flip")
+	if !errors.Is(err, ErrCacheCorrupt) || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("bit flip: %v", err)
+	}
+}
+
+// TestReadCacheFailpoint arms ingest.readcache and checks the injected
+// failure surfaces as a cache-read error, not a panic or silent miss.
+func TestReadCacheFailpoint(t *testing.T) {
+	defer failpoint.Reset()
+	img := sampleCacheImage(t)
+	if err := failpoint.Enable(FailpointReadCache, "error"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCache(bytes.NewReader(img), "fp")
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	failpoint.Reset()
+	if _, err := ReadCache(bytes.NewReader(img), "fp"); err != nil {
+		t.Fatalf("disarmed read failed: %v", err)
+	}
+}
+
+// TestScanBlocksWorkerFailpoint injects a failure into the parse worker
+// pool: the scan must stop with the injected error — deterministically,
+// with no goroutine leak or hang — and succeed again once disarmed.
+func TestScanBlocksWorkerFailpoint(t *testing.T) {
+	defer failpoint.Reset()
+	var text strings.Builder
+	for i := 0; i < 64; i++ {
+		text.WriteString("1 0:1 3:2\n0 1:0.5\n")
+	}
+	opts := Options{NumClass: 2, ChunkRows: 4, Workers: 4}
+
+	if err := failpoint.Enable(FailpointParseBlock, "3*error"); err != nil {
+		t.Fatal(err)
+	}
+	err := ScanBlocks(strings.NewReader(text.String()), opts, func(*Block) error { return nil })
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+
+	failpoint.Reset()
+	blocks := 0
+	if err := ScanBlocks(strings.NewReader(text.String()), opts, func(*Block) error { blocks++; return nil }); err != nil {
+		t.Fatalf("disarmed scan failed: %v", err)
+	}
+	if blocks == 0 {
+		t.Fatal("disarmed scan produced no blocks")
+	}
+}

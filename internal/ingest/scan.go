@@ -6,6 +6,8 @@ import (
 	"io"
 	"runtime"
 	"sync"
+
+	"vero/internal/failpoint"
 )
 
 // Format selects the ingestion text dialect.
@@ -184,6 +186,11 @@ func ScanBlocks(r io.Reader, opts Options, fn func(*Block) error) error {
 			defer wg.Done()
 			for c := range chunkCh {
 				b, err := parse(c, opts)
+				if err == nil {
+					if ferr := failpoint.Inject(FailpointParseBlock); ferr != nil {
+						err = fmt.Errorf("ingest: parse block %d: %w", c.index, ferr)
+					}
+				}
 				select {
 				case resCh <- blockResult{index: c.index, block: b, err: err}:
 				case <-stop:

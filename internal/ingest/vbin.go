@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strings"
 
 	"vero/internal/datasets"
+	"vero/internal/failpoint"
 	"vero/internal/sparse"
 )
 
@@ -35,6 +37,26 @@ const (
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCacheCorrupt marks a .vbin image rejected for structural corruption
+// — truncation, checksum mismatch, out-of-range section tables. Every
+// such rejection wraps it, so callers distinguish "rebuild the cache"
+// from I/O errors with errors.Is.
+var ErrCacheCorrupt = errors.New("ingest: cache corrupt")
+
+// corruptf wraps ErrCacheCorrupt with the specific structural complaint.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCacheCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Failpoint names of the ingest seams (see internal/failpoint).
+const (
+	// FailpointReadCache fails a .vbin cache read.
+	FailpointReadCache = "ingest.readcache"
+	// FailpointParseBlock fails one parsed block inside the scan worker
+	// pool ("N*error" fails the Nth block in arrival order).
+	FailpointParseBlock = "ingest.parseblock"
+)
 
 // CacheMismatchError marks a structurally valid cache whose parameters
 // (version, sketch eps, q, class count) do not match what the caller
@@ -159,12 +181,15 @@ func WriteCacheFile(path string, ds *datasets.Dataset, pb *datasets.Prebin) erro
 // with Quantized set. Training the result with the cache's (eps, q)
 // yields a model bit-identical to training from the original source.
 func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
+	if err := failpoint.Inject(FailpointReadCache); err != nil {
+		return nil, fmt.Errorf("ingest: cache read: %w", err)
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: cache read: %w", err)
 	}
 	if len(data) < vbinHeaderSize || string(data[:4]) != vbinMagic {
-		return nil, fmt.Errorf("ingest: not a .vbin cache (bad magic)")
+		return nil, corruptf("not a .vbin cache (bad magic)")
 	}
 	if v := binary.LittleEndian.Uint32(data[4:]); v != vbinVersion {
 		return nil, &CacheMismatchError{Reason: fmt.Sprintf("cache version %d, want %d", v, vbinVersion)}
@@ -177,7 +202,7 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 	// exact per-section length checks below do the rest.
 	const maxDim = 1 << 40
 	if rows64 > maxDim || cols64 > maxDim || nnz64 > maxDim {
-		return nil, fmt.Errorf("ingest: cache corrupt: implausible shape %dx%d, nnz %d", rows64, cols64, nnz64)
+		return nil, corruptf("implausible shape %dx%d, nnz %d", rows64, cols64, nnz64)
 	}
 	rows := int(rows64)
 	cols := int(cols64)
@@ -188,17 +213,26 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 	binWidth := int(binary.LittleEndian.Uint32(data[48:]))
 	wantCRC := binary.LittleEndian.Uint32(data[52:])
 	if binWidth != 1 && binWidth != 2 {
-		return nil, fmt.Errorf("ingest: cache corrupt: bin width %d", binWidth)
+		return nil, corruptf("bin width %d", binWidth)
 	}
 	payload := data[vbinHeaderSize:]
+	// Cross-check the header's shape against the actual file size before
+	// trusting any of it: the checksum covers only the payload, so a
+	// corrupt header claiming huge dimensions must be rejected here, not
+	// discovered inside a multi-GB allocation further down.
+	minPayload := 4*cols64 + 8*cols64 + 8*(cols64+1) + 4*nnz64 + uint64(binWidth)*nnz64 + 4*rows64
+	if uint64(len(payload)) < minPayload {
+		return nil, corruptf("header claims shape %dx%d with %d nonzeros (needs >= %d payload bytes), file holds %d",
+			rows64, cols64, nnz64, minPayload, len(payload))
+	}
 	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
-		return nil, fmt.Errorf("ingest: cache corrupt: checksum %08x, want %08x", got, wantCRC)
+		return nil, corruptf("checksum %08x, want %08x", got, wantCRC)
 	}
 
 	off := 0
 	need := func(n int) error {
 		if off+n > len(payload) {
-			return fmt.Errorf("ingest: cache corrupt: truncated payload")
+			return corruptf("truncated payload")
 		}
 		return nil
 	}
@@ -211,7 +245,7 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 		counts[f] = int(binary.LittleEndian.Uint32(payload[off:]))
 		splitsTotal += counts[f]
 		if splitsTotal > len(payload) {
-			return nil, fmt.Errorf("ingest: cache corrupt: truncated payload")
+			return nil, corruptf("truncated payload")
 		}
 		off += 4
 	}
@@ -247,7 +281,7 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 		off += 8
 	}
 	if colPtr[0] != 0 || (cols >= 0 && colPtr[cols] != int64(nnz)) {
-		return nil, fmt.Errorf("ingest: cache corrupt: colPtr endpoints [%d,%d], want [0,%d]", colPtr[0], colPtr[cols], nnz)
+		return nil, corruptf("colPtr endpoints [%d,%d], want [0,%d]", colPtr[0], colPtr[cols], nnz)
 	}
 	if err := need(4 * nnz); err != nil {
 		return nil, err
@@ -281,7 +315,7 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 		off += 4
 	}
 	if off != len(payload) {
-		return nil, fmt.Errorf("ingest: cache corrupt: %d trailing bytes", len(payload)-off)
+		return nil, corruptf("%d trailing bytes", len(payload)-off)
 	}
 
 	// Transpose the binned columns back into a raw CSR of representative
@@ -290,11 +324,11 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 	rowCnt := make([]int64, rows+1)
 	for j := 0; j < cols; j++ {
 		if colPtr[j] > colPtr[j+1] || colPtr[j+1] > int64(nnz) {
-			return nil, fmt.Errorf("ingest: cache corrupt: colPtr not monotone at column %d", j)
+			return nil, corruptf("colPtr not monotone at column %d", j)
 		}
 		for k := colPtr[j]; k < colPtr[j+1]; k++ {
 			if int(inst[k]) >= rows {
-				return nil, fmt.Errorf("ingest: cache corrupt: instance %d out of range (rows=%d)", inst[k], rows)
+				return nil, corruptf("instance %d out of range (rows=%d)", inst[k], rows)
 			}
 			rowCnt[inst[k]+1]++
 		}
@@ -319,14 +353,14 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 			} else if len(s) == 0 && bins[k] == 0 {
 				val[p] = nan
 			} else {
-				return nil, fmt.Errorf("ingest: cache corrupt: bin %d of feature %d out of range (%d bins)", bins[k], j, len(s))
+				return nil, corruptf("bin %d of feature %d out of range (%d bins)", bins[k], j, len(s))
 			}
 			next[i] = p + 1
 		}
 	}
 	x, err := sparse.NewCSR(rows, cols, rowPtr, feat, val)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: cache corrupt: %w", err)
+		return nil, corruptf("%v", err)
 	}
 	task := datasets.TaskRegression
 	switch {
@@ -335,7 +369,7 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 	case numClass > 2:
 		task = datasets.TaskMulti
 	case numClass < 1:
-		return nil, fmt.Errorf("ingest: cache corrupt: numClass %d", numClass)
+		return nil, corruptf("numClass %d", numClass)
 	}
 	return &datasets.Dataset{
 		Name:     name,

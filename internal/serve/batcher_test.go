@@ -311,6 +311,127 @@ func TestBatcherCloseDrains(t *testing.T) {
 	}
 }
 
+// TestBatcherCloseRacesDeadlineFlush races Close against the leader's
+// deadline firing at the same instant. Whoever wins, the batch must be
+// claimed and scored exactly once, the waiter answered exactly once, and
+// the flush attributed to exactly one cause. Run with -race.
+func TestBatcherCloseRacesDeadlineFlush(t *testing.T) {
+	pred, err := gbdt.NewPredictor(constModel(t, 2), gbdt.PredictorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		clk := newFakeClock()
+		m := &modelMetrics{}
+		b := newBatcher(pred, BatchConfig{Deadline: time.Millisecond, MaxRows: 8}, clk, m)
+		primeArrivals(b)
+		ch := enqueueAsync(b, nil, nil)
+		clk.waitTimers(t, 1)
+		queuedRows(t, b, 1)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); clk.Advance(time.Millisecond) }()
+		go func() { defer wg.Done(); b.Close() }()
+		wg.Wait()
+
+		select {
+		case res := <-ch:
+			if !res.ok {
+				t.Fatalf("iter %d: queued row refused during shutdown", i)
+			}
+			if res.margins[0] != 2 {
+				t.Fatalf("iter %d: margins %v, want [2]", i, res.margins)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iter %d: queued request hung across Close/deadline race", i)
+		}
+		if got := m.batches.Load(); got != 1 {
+			t.Fatalf("iter %d: batch scored %d times, want exactly once", i, got)
+		}
+		dl := m.batchFlush[flushDeadline].Load()
+		dr := m.batchFlush[flushDrain].Load()
+		if dl+dr != 1 {
+			t.Fatalf("iter %d: flush causes deadline=%d drain=%d, want exactly one", i, dl, dr)
+		}
+	}
+}
+
+// TestBatcherCloseRacesEnqueues fires a burst of enqueues concurrently
+// with Close: every request must get exactly one outcome — scored through
+// the drained batch, or refused to inline — and none may hang.
+func TestBatcherCloseRacesEnqueues(t *testing.T) {
+	pred, err := gbdt.NewPredictor(constModel(t, 5), gbdt.PredictorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		clk := newFakeClock()
+		m := &modelMetrics{}
+		b := newBatcher(pred, BatchConfig{Deadline: time.Hour, MaxRows: 100}, clk, m)
+		primeArrivals(b)
+
+		const burst = 8
+		start := make(chan struct{})
+		results := make(chan enqueueResult, burst)
+		for g := 0; g < burst; g++ {
+			go func() {
+				<-start
+				margins, ok := b.enqueue(nil, nil)
+				results <- enqueueResult{margins, ok}
+			}()
+		}
+		close(start)
+		b.Close()
+
+		answered := 0
+		for g := 0; g < burst; g++ {
+			select {
+			case res := <-results:
+				if res.ok {
+					if res.margins[0] != 5 {
+						t.Fatalf("iter %d: margins %v, want [5]", i, res.margins)
+					}
+					answered++
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("iter %d: %d of %d requests hung across Close", i, burst-g, burst)
+			}
+		}
+		if got := m.batchedRows.Load(); got != int64(answered) {
+			t.Fatalf("iter %d: %d rows batched but %d requests answered", i, got, answered)
+		}
+		if got := m.batches.Load(); got > 1 {
+			t.Fatalf("iter %d: %d batches after Close, want at most one", i, got)
+		}
+	}
+}
+
+// TestBatcherEnqueueAfterClose pins the post-shutdown contract: enqueue on
+// a closed batcher returns (nil, false) immediately — the caller falls
+// back to inline scoring — rather than parking on a batch no flusher will
+// ever claim.
+func TestBatcherEnqueueAfterClose(t *testing.T) {
+	pred, err := gbdt.NewPredictor(constModel(t, 1), gbdt.PredictorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	b := newBatcher(pred, BatchConfig{Deadline: time.Hour, MaxRows: 4}, clk, &modelMetrics{})
+	b.Close()
+	for i := 0; i < 3; i++ {
+		primeArrivals(b) // even under sustained-load arrival gaps, closed wins
+		select {
+		case res := <-enqueueAsync(b, nil, nil):
+			if res.ok || res.margins != nil {
+				t.Fatalf("enqueue %d after Close accepted: %+v", i, res)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("enqueue %d after Close hung", i)
+		}
+	}
+}
+
 // TestBatcherHotSwapPinsVersion pins version isolation: rows queued on
 // one version are scored by that version's predictor even when a swap
 // lands before their batch flushes — the swap drains the outgoing queue.

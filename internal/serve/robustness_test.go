@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReadyzDrain checks the load-balancer handshake: /readyz answers 200
+// on a fresh server, flips to 503 after BeginDrain, and in-flight traffic
+// keeps being served during the drain window — only routing stops, work
+// does not.
+func TestReadyzDrain(t *testing.T) {
+	srv, err := New(constModel(t, 3), "seed", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("fresh /readyz returned %d, want 200", got)
+	}
+	if !srv.Ready() {
+		t.Fatal("fresh server reports not ready")
+	}
+
+	srv.BeginDrain()
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz returned %d, want 503", got)
+	}
+	// Liveness is orthogonal to readiness: the process is still healthy.
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("draining /healthz returned %d, want 200", got)
+	}
+	// Requests already routed here must still be answered.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		bytes.NewReader([]byte(`{"rows":[{"indices":[],"values":[]}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&pr) != nil {
+		t.Fatalf("predict during drain returned %d", resp.StatusCode)
+	}
+	if pr.Scores[0][0] != 3 {
+		t.Fatalf("predict during drain scored %v, want 3", pr.Scores[0][0])
+	}
+
+	// Close implies BeginDrain on a fresh server.
+	srv2, err := New(constModel(t, 1), "seed", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Close()
+	if srv2.Ready() {
+		t.Fatal("closed server still reports ready")
+	}
+}
+
+// TestAdminSwapProbeRejects swaps in a structurally valid model whose
+// margins overflow to +Inf: the probe must reject it with 400 before the
+// registry version moves, and the incumbent model must keep serving.
+func TestAdminSwapProbeRejects(t *testing.T) {
+	srv, err := New(constModel(t, 1), "seed", Options{EnableAdmin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two leaves of 1e308 sum past MaxFloat64 on every row.
+	leaf := `{"num_class":1,"nodes":[{"feature":-1,"left":-1,"right":-1,"weights":[1e308]}]}`
+	data := fmt.Sprintf(`{"num_class":1,"learning_rate":1,"init_score":[0],
+		"objective":"square","num_feature":4,"trees":[%s,%s]}`, leaf, leaf)
+	path := filepath.Join(t.TempDir(), "overflow.json")
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/models/default", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"path":%q}`, path))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-finite swap returned %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	if !strings.Contains(buf.String(), "probe") {
+		t.Fatalf("rejection does not mention the probe: %s", buf.Bytes())
+	}
+
+	// The incumbent stays at version 1 and keeps answering.
+	st, ok := srv.Registry().Status(DefaultModel)
+	if !ok || st.Version != 1 {
+		t.Fatalf("registry moved to %+v after rejected swap", st)
+	}
+	resp, err = http.Post(ts.URL+"/v1/predict", "application/json",
+		bytes.NewReader([]byte(`{"rows":[{"indices":[],"values":[]}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&pr) != nil {
+		t.Fatalf("predict after rejected swap returned %d", resp.StatusCode)
+	}
+	if pr.Scores[0][0] != 1 || pr.Version != 1 {
+		t.Fatalf("rejected swap leaked: score %v version %d", pr.Scores[0][0], pr.Version)
+	}
+}
+
+// probeModel itself must catch scoring panics, not just non-finite
+// margins — a nil model is the degenerate case.
+func TestProbeModelRecovers(t *testing.T) {
+	if err := probeModel(nil); err == nil {
+		t.Fatal("probe of nil model succeeded")
+	}
+}

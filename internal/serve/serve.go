@@ -6,6 +6,7 @@
 // Endpoints (see docs/SERVING.md for the full wire format):
 //
 //	GET    /healthz                   liveness probe
+//	GET    /readyz                    readiness probe (503 once draining)
 //	GET    /metricz                   per-model request/latency accounting
 //	GET    /v1/models                 list registered models
 //	GET    /v1/models/{name}          one model's metadata
@@ -42,9 +43,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"vero/gbdt"
@@ -146,6 +149,10 @@ type Server struct {
 	reg         *Registry
 	defaultName string
 	opts        Options
+	// ready backs /readyz: true once every construction-time model has
+	// loaded, false again when a drain begins — so load balancers stop
+	// routing before the listener closes.
+	ready atomic.Bool
 }
 
 // ModelSpec names one model for NewMulti.
@@ -179,17 +186,30 @@ func NewMulti(specs []ModelSpec, opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.ready.Store(true)
 	return s, nil
 }
 
 // Registry exposes the model registry for programmatic load/swap/delete.
 func (s *Server) Registry() *Registry { return s.reg }
 
+// BeginDrain flips /readyz to 503 without touching in-flight or future
+// requests. Call it when a shutdown signal arrives, before
+// http.Server.Shutdown, so load balancers stop routing new work while the
+// listener still answers the requests already on the wire.
+func (s *Server) BeginDrain() { s.ready.Store(false) }
+
+// Ready reports whether /readyz currently answers 200.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
 // Close drains every model's coalescing queue: rows already enqueued are
 // scored and answered normally, and later requests score inline. Call
 // after (or concurrently with) http.Server.Shutdown so no queued request
-// is dropped.
-func (s *Server) Close() { s.reg.Close() }
+// is dropped. Close implies BeginDrain.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.reg.Close()
+}
 
 // DefaultModelName returns the name served by the legacy aliases.
 func (s *Server) DefaultModelName() string { return s.defaultName }
@@ -200,6 +220,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ready"}`)
 	})
 	mux.HandleFunc("GET /metricz", s.handleMetricz)
 	mux.HandleFunc("GET /v1/models", s.handleList)
@@ -455,6 +483,13 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode model: "+err.Error())
 		return
 	}
+	// Score a probe row before the swap becomes visible: a model that
+	// decodes but cannot produce finite scores must never replace a
+	// serving version.
+	if err := probeModel(model); err != nil {
+		writeError(w, http.StatusBadRequest, "model failed probe scoring: "+err.Error())
+		return
+	}
 	st, prior, err := s.reg.Swap(name, req.Path, model)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -467,6 +502,30 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 		s.opts.Logger.Printf("serve: loaded model %q v%d (%d trees from %s)", name, st.Version, st.NumTrees, st.Source)
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// probeModel scores one empty sparse row (every feature missing — a row
+// any model must route via its default directions) through the model's
+// compiled engine and rejects panics and non-finite outputs. It is the
+// last line of defense behind DecodeForest's structural validation: a
+// model can be structurally sound yet carry weights that overflow to
+// Inf/NaN the moment they are summed.
+func probeModel(m *gbdt.Model) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic scoring probe row: %v", r)
+		}
+	}()
+	margins := m.PredictRow(nil, nil)
+	if len(margins) == 0 {
+		return fmt.Errorf("no scores for probe row")
+	}
+	for k, v := range margins {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite score %v for class %d", v, k)
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleAdminDelete(w http.ResponseWriter, r *http.Request) {

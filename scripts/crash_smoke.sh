@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Crash-safety smoke test: kill a real `veroctl train` subprocess mid-run
+# — once deterministically at a random boosting round via a failpoint
+# exit, then repeatedly with SIGKILL at random wall-clock times — resume
+# each time from its checkpoints, and require the final model to be
+# byte-identical to an uninterrupted run. Run from the repo root; used by
+# CI and reproducible locally with `bash scripts/crash_smoke.sh`.
+#
+# The runs deliberately avoid -cache: a warm .vbin load materializes
+# different dataset bytes than a cold parse, so mixing the two across a
+# crash would (correctly) trip the checkpoint's dataset fingerprint.
+set -euo pipefail
+
+DIR="$(mktemp -d)"
+trap 'kill -9 "${TRAIN_PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+TREES=${CRASH_SMOKE_TREES:-60}
+EVERY=5
+TRAIN_ARGS=(-data "$DIR/train.libsvm" -classes 2 -trees "$TREES" -layers 6 -workers 4)
+
+fail() { echo "FAIL: $1"; shift; for f in "$@"; do echo "--- $f:"; cat "$f"; done; exit 1; }
+
+echo "== build"
+go build -o "$DIR/veroctl" ./cmd/veroctl
+go build -o "$DIR/datagen" ./cmd/datagen
+
+echo "== generate data + uninterrupted reference run"
+"$DIR/datagen" -n 4000 -d 40 -c 2 -density 0.4 -informative 0.4 -out "$DIR/train.libsvm"
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -model "$DIR/clean.json" >/dev/null
+
+echo "== deterministic crash at a random round (failpoint exit), then resume"
+CRASH_AT=$(( (RANDOM % (TREES - EVERY)) + EVERY ))
+set +e
+VERO_FAILPOINTS="core.aftertree=${CRASH_AT}*exit(137)" \
+  "$DIR/veroctl" train "${TRAIN_ARGS[@]}" \
+  -checkpoint-dir "$DIR/ckpt" -checkpoint-every "$EVERY" \
+  -model "$DIR/resumed.json" >"$DIR/crash.log" 2>&1
+STATUS=$?
+set -e
+[ "$STATUS" -eq 137 ] || fail "failpoint crash exited $STATUS, want 137" "$DIR/crash.log"
+[ -f "$DIR/ckpt/train.vckp" ] || fail "no checkpoint on disk after crash at round $CRASH_AT"
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" \
+  -checkpoint-dir "$DIR/ckpt" -checkpoint-every "$EVERY" \
+  -model "$DIR/resumed.json" >"$DIR/resume.log"
+grep -q "resumed from checkpoint" "$DIR/resume.log" \
+  || fail "resume log line missing" "$DIR/resume.log"
+[ -f "$DIR/ckpt/train.vckp" ] && fail "checkpoint not removed after completed run"
+cmp -s "$DIR/clean.json" "$DIR/resumed.json" \
+  || fail "resumed model differs from uninterrupted run" "$DIR/resume.log"
+echo "   crashed after round $CRASH_AT, resumed, models byte-identical"
+
+echo "== SIGKILL at random wall-clock times, resuming until completion"
+MAX_KILLS=${CRASH_SMOKE_KILLS:-3}
+KILLS=0
+RESUMES=0
+while :; do
+  if [ "$KILLS" -ge "$MAX_KILLS" ]; then
+    "$DIR/veroctl" train "${TRAIN_ARGS[@]}" \
+      -checkpoint-dir "$DIR/ckpt2" -checkpoint-every "$EVERY" \
+      -model "$DIR/killed.json" >"$DIR/kill_final.log"
+    grep -q "resumed from checkpoint" "$DIR/kill_final.log" && RESUMES=$((RESUMES + 1))
+    break
+  fi
+  "$DIR/veroctl" train "${TRAIN_ARGS[@]}" \
+    -checkpoint-dir "$DIR/ckpt2" -checkpoint-every "$EVERY" \
+    -model "$DIR/killed.json" >"$DIR/kill_$KILLS.log" 2>&1 &
+  TRAIN_PID=$!
+  # GNU sleep takes fractional seconds; land somewhere inside the run.
+  sleep "0.$((RANDOM % 8))$((RANDOM % 10))"
+  kill -9 "$TRAIN_PID" 2>/dev/null || true
+  set +e
+  wait "$TRAIN_PID"
+  STATUS=$?
+  set -e
+  grep -q "resumed from checkpoint" "$DIR/kill_$KILLS.log" && RESUMES=$((RESUMES + 1))
+  [ "$STATUS" -eq 0 ] && break # finished before the kill landed
+  KILLS=$((KILLS + 1))
+done
+cmp -s "$DIR/clean.json" "$DIR/killed.json" \
+  || fail "model after $KILLS SIGKILLs differs from uninterrupted run"
+echo "   survived $KILLS SIGKILLs ($RESUMES resumed runs), models byte-identical"
+
+echo "== mismatched config is rejected, not resumed"
+set +e
+VERO_FAILPOINTS="core.aftertree=${EVERY}*exit(137)" \
+  "$DIR/veroctl" train "${TRAIN_ARGS[@]}" \
+  -checkpoint-dir "$DIR/ckpt3" -checkpoint-every "$EVERY" \
+  -model "$DIR/unused.json" >/dev/null 2>&1
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -eta 0.1 \
+  -checkpoint-dir "$DIR/ckpt3" -checkpoint-every "$EVERY" \
+  -model "$DIR/unused.json" >"$DIR/mismatch.log" 2>&1
+STATUS=$?
+set -e
+[ "$STATUS" -ne 0 ] || fail "mismatched config resumed from checkpoint" "$DIR/mismatch.log"
+grep -q "config changed" "$DIR/mismatch.log" \
+  || fail "mismatch error is not descriptive" "$DIR/mismatch.log"
+echo "   config mismatch rejected with a descriptive error"
+
+echo "crash smoke OK"

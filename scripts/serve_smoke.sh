@@ -26,8 +26,8 @@ echo "== start veroserve"
   2>"$DIR/server.log" &
 SERVER_PID=$!
 for i in $(seq 1 50); do
-  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
-  [ "$i" = 50 ] && { echo "server never came up"; cat "$DIR/server.log"; exit 1; }
+  curl -sf "http://$ADDR/readyz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "server never became ready"; cat "$DIR/server.log"; exit 1; }
   sleep 0.2
 done
 
@@ -58,5 +58,25 @@ echo "$OUT" | grep -Eq '"p50":[0-9.]+' || fail "metricz missing p50: $OUT"
 
 echo "== list models"
 curl -sf "http://$ADDR/v1/models" | grep -q '"version":2' || fail "model list stale"
+
+echo "== corrupt model is rejected before swap"
+echo '{"trees": "garbage"}' >"$DIR/corrupt.json"
+CODE=$(curl -s -o "$DIR/swap_err.json" -w '%{http_code}' \
+  -d "{\"path\":\"$DIR/corrupt.json\"}" "http://$ADDR/v1/models/default")
+[ "$CODE" = 400 ] || fail "corrupt model swap answered $CODE, want 400"
+curl -sf "http://$ADDR/v1/models/default" | grep -q '"version":2' \
+  || fail "corrupt model replaced the serving version"
+
+echo "== SIGTERM drains: /readyz goes 503 (or the listener closes), never stays ready"
+kill -TERM "$SERVER_PID"
+for i in $(seq 1 50); do
+  CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz" 2>/dev/null) || CODE=000
+  # 503 = draining, 000 = drain already finished; both mean traffic stopped.
+  { [ "$CODE" = 503 ] || [ "$CODE" = 000 ]; } && break
+  [ "$i" = 50 ] && fail "/readyz still ready after SIGTERM"
+  sleep 0.05
+done
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
 
 echo "serve smoke OK"
