@@ -574,6 +574,41 @@ func BenchmarkIngestWarmCache(b *testing.B) {
 	b.ReportMetric(float64(rows*b.N)/time.Since(start).Seconds(), "rows/s")
 }
 
+// BenchmarkTrainOutOfCore trains the same .vbin cache twice — materialized
+// in memory and streamed through the mmap-backed view under a small memory
+// budget — and reports both training throughputs, the streamed fraction
+// (streamed rows/s over in-memory rows/s, the docs/PERFORMANCE.md
+// headline) and the streamed run's peak heap.
+func BenchmarkTrainOutOfCore(b *testing.B) {
+	_, vbin, rows := ingestSetup(b, 20000, 100)
+	train := func(outOfCore bool) (*gbdt.Report, float64) {
+		b.Helper()
+		t0 := time.Now()
+		_, rep, err := gbdt.TrainFile(vbin, gbdt.Options{
+			Quadrant: gbdt.QD4, Workers: 4, Trees: 4, Layers: 6,
+			OutOfCore: outOfCore, MemBudget: 32 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep, time.Since(t0).Seconds()
+	}
+	b.ResetTimer()
+	var memSec, oocSec float64
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		_, s := train(false)
+		memSec += s
+		rep, s := train(true)
+		oocSec += s
+		peak = rep.PeakHeapBytes
+	}
+	b.ReportMetric(float64(rows*b.N)/memSec, "mem_rows/s")
+	b.ReportMetric(float64(rows*b.N)/oocSec, "ooc_rows/s")
+	b.ReportMetric(memSec/oocSec, "ooc_fraction")
+	b.ReportMetric(float64(peak)/(1<<20), "ooc_peak_MiB")
+}
+
 // BenchmarkIngestWarmVsCold runs both paths back to back and reports the
 // warm-over-cold rows/s ratio — the acceptance headline of the cache.
 func BenchmarkIngestWarmVsCold(b *testing.B) {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"vero/internal/costmodel"
@@ -80,6 +81,11 @@ func main() {
 	run("table7", func() error { return printTable7(*scale) })
 	run("table8", func() error { return printTable8(*scale) })
 	run("ablations", func() error { return printAblations(*scale) })
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("\npeak heap: %.1f MiB reserved from the OS across all experiments\n",
+		float64(ms.HeapSys)/(1<<20))
 }
 
 func printCostModel() error {

@@ -209,6 +209,8 @@ func cmdTrain(args []string) error {
 	model := fs.String("model", "model.json", "output model path")
 	ckptDir := fs.String("checkpoint-dir", "", "checkpoint directory: save resumable training state every -checkpoint-every trees and resume from it after a crash")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint period in trees (0 disables checkpointing)")
+	outOfCore := fs.Bool("out-of-core", false, "train from an mmap-backed view of the .vbin cache instead of loading the matrix into memory (bit-identical models; needs a .vbin -data path or -cache)")
+	memBudgetMB := fs.Int64("mem-budget-mb", 64, "out-of-core streaming scratch budget in MiB")
 	verbose := fs.Bool("v", false, "per-tree progress")
 	finish := ingestFlags(fs)
 	fs.Parse(args)
@@ -223,6 +225,7 @@ func cmdTrain(args []string) error {
 		Trees: *trees, Layers: *layers, Splits: *splits,
 		LearningRate: *eta, Lambda: *lambda, Gamma: *gamma,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+		OutOfCore: *outOfCore, MemBudget: *memBudgetMB << 20,
 	}, *classes)
 	if err != nil {
 		return err
@@ -241,6 +244,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer ds.Close() // releases the out-of-core mapping; no-op in memory
 	fmt.Printf("ingested %d x %d in %v (%s)\n",
 		ds.NumInstances(), ds.NumFeatures(), time.Since(ingestStart).Round(time.Millisecond), status)
 	if *verbose {
@@ -273,6 +277,7 @@ func cmdTrain(args []string) error {
 	fmt.Printf("trained %d trees on %d x %d (%s)\n", m.NumTrees(), ds.NumInstances(), ds.NumFeatures(), policy)
 	fmt.Printf("simulated: comp %.3fs  comm %.3fs  prep %.3fs  comm volume %.1f MB\n",
 		report.CompSeconds, report.CommSeconds, report.PrepSeconds, float64(report.CommBytes)/(1<<20))
+	fmt.Printf("peak heap: %.1f MiB\n", float64(report.PeakHeapBytes)/(1<<20))
 	fmt.Printf("model written to %s\n", *model)
 	return nil
 }

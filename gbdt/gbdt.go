@@ -188,6 +188,19 @@ type Options struct {
 	// parse and bin while producing bit-identical models (docs/DATA.md).
 	CacheDir string
 
+	// OutOfCore trains from an mmap-backed view of the .vbin cache
+	// instead of materializing the binned matrix in memory: the file-based
+	// entry points map the cache image (building it first when the path is
+	// not already a .vbin file — CacheDir must then be set), and training
+	// streams blocks through scratch bounded by MemBudget. Models are
+	// bit-identical to in-memory training. See docs/DATA.md and
+	// docs/PERFORMANCE.md.
+	OutOfCore bool
+	// MemBudget bounds the out-of-core streaming scratch in bytes
+	// (default 64 MiB). It sizes block buffers only; the trained model
+	// does not depend on it.
+	MemBudget int64
+
 	Seed int64
 
 	// CheckpointDir, together with CheckpointEvery > 0, makes training
@@ -245,8 +258,14 @@ func (m *Model) PredictRow(feat []uint32, val []float32) []float64 {
 }
 
 // Predict returns raw scores for every instance of ds, row-major with
-// stride NumClass, computed in parallel by the flat serving engine.
+// stride NumClass, computed in parallel by the flat serving engine. The
+// dataset must be materialized: an out-of-core training view holds bin
+// indexes on disk, not feature values — read the data with ReadDataFile
+// (or train with evaluation on a separate materialized split) to score it.
 func (m *Model) Predict(ds *Dataset) []float64 {
+	if ds.OutOfCore() {
+		panic("gbdt: Predict needs a materialized dataset; out-of-core views are training-only (load the data with ReadDataFile instead)")
+	}
 	return m.flatForest().PredictCSR(ds.X, 0) // 0: default worker count
 }
 
@@ -283,6 +302,10 @@ type Report struct {
 	// StartRound is the boosting round training began at: 0 for a fresh
 	// run, k when a checkpoint with k completed trees was resumed.
 	StartRound int
+	// PeakHeapBytes is the process heap high-water mark sampled at tree
+	// boundaries — the number an out-of-core run's MemBudget guarantee is
+	// checked against.
+	PeakHeapBytes uint64
 	// CheckpointErr records a non-fatal checkpoint housekeeping failure
 	// (a periodic save that could not be written, or a completed run's
 	// checkpoint that could not be removed). The model itself is valid.
@@ -335,6 +358,7 @@ func baseConfig(opts Options) core.Config {
 		Objective:       opts.Objective,
 		NumClass:        opts.NumClass,
 		Seed:            opts.Seed,
+		MemBudget:       opts.MemBudget,
 		CheckpointDir:   opts.CheckpointDir,
 		CheckpointEvery: opts.CheckpointEvery,
 		OnTree:          opts.OnTree,
@@ -375,6 +399,7 @@ func buildReport(cl *cluster.Cluster, res *core.Result) *Report {
 		DataBytes:          cl.Stats().Mem("data").MaxPeak(),
 		TransformBytes:     res.TransformBytes,
 		StartRound:         res.StartRound,
+		PeakHeapBytes:      res.PeakHeapBytes,
 		CheckpointErr:      res.CheckpointErr,
 	}
 }

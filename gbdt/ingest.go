@@ -69,6 +69,9 @@ func IngestFile(path string, opts Options) (*Dataset, IngestStatus, error) {
 	if opts.NumClass == 0 {
 		opts.NumClass = 2
 	}
+	if opts.OutOfCore {
+		return ingestOutOfCore(path, opts)
+	}
 	if strings.HasSuffix(path, ".vbin") {
 		ds, err := ingest.ReadCacheFile(path)
 		if err != nil {
@@ -87,6 +90,36 @@ func IngestFile(path string, opts Options) (*Dataset, IngestStatus, error) {
 		return nil, "", err
 	}
 	return ds, IngestCold, nil
+}
+
+// ingestOutOfCore serves the Options.OutOfCore path: instead of
+// materializing the binned matrix, the .vbin cache image is mapped
+// read-only (internal/ingest.MapCacheFile) and training streams blocks
+// from it. A path that is not itself a .vbin file needs a CacheDir; a
+// missing or stale cache is built first (that cold build materializes the
+// dataset transiently — the training run itself stays bounded by
+// MemBudget). Close the returned dataset to release the mapping.
+func ingestOutOfCore(path string, opts Options) (*Dataset, IngestStatus, error) {
+	status := IngestWarm
+	if !strings.HasSuffix(path, ".vbin") {
+		if opts.CacheDir == "" {
+			return nil, "", fmt.Errorf("gbdt: out-of-core training needs a .vbin cache: pass a .vbin path or set CacheDir")
+		}
+		var err error
+		if path, status, err = ingest.EnsureCache(opts.CacheDir, path, ingestOptions(opts)); err != nil {
+			return nil, "", err
+		}
+	}
+	mc, err := ingest.MapCacheFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	ds := mc.Dataset()
+	if ds.NumClass != opts.NumClass {
+		mc.Close()
+		return nil, "", fmt.Errorf("gbdt: cache %s holds %d classes, want %d", path, ds.NumClass, opts.NumClass)
+	}
+	return ds, status, nil
 }
 
 // ReadDataFile reads a data file without deriving bins: the chunked
@@ -135,6 +168,7 @@ func TrainFile(path string, opts Options) (*Model, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	defer ds.Close() // releases the out-of-core mapping; no-op in memory
 	return Train(ds, opts)
 }
 

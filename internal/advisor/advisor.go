@@ -83,7 +83,7 @@ func FromDataset(ds *datasets.Dataset, workers int, net cluster.NetworkModel) Wo
 		D:         int64(ds.NumFeatures()),
 		C:         c,
 		W:         int64(workers),
-		NNZPerRow: float64(ds.X.NNZ()) / float64(max(1, n)),
+		NNZPerRow: float64(ds.NNZ()) / float64(max(1, n)),
 		Net:       net,
 	}
 }

@@ -122,6 +122,13 @@ func (t *trainer) datasetFingerprint() string {
 	for _, y := range t.ds.Labels {
 		writeU32(h, scratch[:4], math.Float32bits(y))
 	}
+	if t.ds.OutOfCore() {
+		// Out-of-core matrices stay on disk; the block source's
+		// fingerprint (derived from the cache image's payload CRC) stands
+		// in for the per-row walk.
+		h.Write([]byte(t.ds.Blocks.Fingerprint()))
+		return fmt.Sprintf("%08x", h.Sum32())
+	}
 	for i := 0; i < t.n; i++ {
 		feats, vals := t.ds.X.Row(i)
 		writeU64(uint64(len(feats)))

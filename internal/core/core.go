@@ -174,6 +174,19 @@ type Config struct {
 	// SketchEps is the quantile sketch error (default 0.01).
 	SketchEps float64
 
+	// MemBudget bounds the resident streaming scratch of an out-of-core
+	// run (a dataset served by datasets.BlockSource) in bytes; zero means
+	// a 64 MiB default. It only sizes block buffers — models are
+	// bit-identical for any budget — so it stays out of the checkpoint
+	// config hash.
+	MemBudget int64
+	// BlockRows and BlockNNZ override the derived out-of-core block
+	// sizes (rows per rebuilt row block, entries per column chunk);
+	// mainly for tests pinning block-boundary edge cases. Zero derives
+	// both from MemBudget.
+	BlockRows int
+	BlockNNZ  int
+
 	Seed int64
 
 	// CheckpointDir, with CheckpointEvery > 0, enables crash-safe
@@ -257,6 +270,10 @@ type Result struct {
 	// StartRound is the boosting round training began at: 0 for a fresh
 	// run, k when a checkpoint with k completed trees was resumed.
 	StartRound int
+	// PeakHeapBytes is the heap high-water mark observed at tree
+	// boundaries (runtime.MemStats HeapAlloc) — the number the
+	// out-of-core memory-budget guarantee is stated against.
+	PeakHeapBytes uint64
 	// CheckpointErr records the last non-fatal checkpoint housekeeping
 	// failure (a failed periodic save, or a failed removal of the
 	// checkpoint after a completed run). Training itself succeeded; the

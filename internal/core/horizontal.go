@@ -23,6 +23,7 @@ type horizontalEngine struct {
 
 	rows   []*sparse.BinnedCSR // QD2: per-worker row shards
 	cols   []*sparse.BinnedCSC // QD1: per-worker column views of row shards
+	blocks []*rowBlockBuilder  // QD2 out-of-core: per-worker row rebuilders
 	n2i    []*index.NodeToInstance
 	i2n    []*index.InstanceToNode
 	agg    map[int32]*histogram.Hist // aggregated histograms, by node id
@@ -37,6 +38,9 @@ const splitWireBytes = 24
 // the quadrant's storage pattern.
 func (e *horizontalEngine) prepare() error {
 	t := e.t
+	if t.stream != nil {
+		return e.prepareStreamed()
+	}
 	if _, err := t.distributedSketch(); err != nil {
 		return err
 	}
@@ -215,6 +219,10 @@ func (e *horizontalEngine) rootTotals() ([]float64, []float64) {
 func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
 	t := e.t
 	if t.cfg.Quadrant == QD2 {
+		if t.stream != nil {
+			e.buildHistogramsStreamedQD2(toBuild)
+			return
+		}
 		// Row-store: per node, scan the node's instances (node-to-instance
 		// index) through the fused row-scan kernel and aggregate
 		// immediately, keeping one transient local histogram per worker at
@@ -268,25 +276,29 @@ func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
 	for w := range merged {
 		merged[w] = make(chan struct{})
 	}
-	t.cl.Parallel(phaseHist, func(w int) {
-		stride := e.layout.FloatsPerSide()
-		ag, ah := e.flatScratch(w, stride*len(toBuild))
-		cols := e.cols[w]
-		nodeOf := e.i2n[w].Assignments()
-		base := t.ranges[w][0]
-		for j := 0; j < cols.Cols(); j++ {
-			insts, bins := cols.Col(j)
-			histogram.ColumnScanRouted(ag, ah, stride, e.layout, j, insts, bins, nodeOf, slot, t.grads, t.hessv, base)
-		}
-		if w > 0 {
-			<-merged[w-1]
-		}
-		for i := range acc {
-			acc[i].Merge(&histogram.Hist{Layout: e.layout,
-				Grad: ag[i*stride : (i+1)*stride], Hess: ah[i*stride : (i+1)*stride]})
-		}
-		close(merged[w])
-	})
+	if t.stream != nil {
+		e.buildHistogramsStreamedQD1(toBuild, slot, acc, merged)
+	} else {
+		t.cl.Parallel(phaseHist, func(w int) {
+			stride := e.layout.FloatsPerSide()
+			ag, ah := e.flatScratch(w, stride*len(toBuild))
+			cols := e.cols[w]
+			nodeOf := e.i2n[w].Assignments()
+			base := t.ranges[w][0]
+			for j := 0; j < cols.Cols(); j++ {
+				insts, bins := cols.Col(j)
+				histogram.ColumnScanRouted(ag, ah, stride, e.layout, j, insts, bins, nodeOf, slot, t.grads, t.hessv, base)
+			}
+			if w > 0 {
+				<-merged[w-1]
+			}
+			for i := range acc {
+				acc[i].Merge(&histogram.Hist{Layout: e.layout,
+					Grad: ag[i*stride : (i+1)*stride], Hess: ah[i*stride : (i+1)*stride]})
+			}
+			close(merged[w])
+		})
+	}
 	mem := t.cl.Stats().Mem("histogram")
 	for i, nd := range toBuild {
 		e.chargeAggregation(e.layout.SizeBytes())
@@ -383,6 +395,10 @@ func (e *horizontalEngine) findSplits(frontier []*nodeInfo) map[int32]resolvedSp
 // placement broadcast, only the (tiny) split records travel.
 func (e *horizontalEngine) applyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
 	t := e.t
+	if t.stream != nil {
+		e.applyLayerStreamed(splits, children)
+		return
+	}
 	t.cl.Broadcast(phaseNode, int64(len(splits))*splitWireBytes)
 	if t.cfg.Quadrant == QD2 {
 		t.cl.Parallel(phaseNode, func(w int) {

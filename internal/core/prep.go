@@ -16,6 +16,9 @@ import (
 // sketches from them, and the vertical quadrants repartition from them.
 func (t *trainer) prepare() error {
 	t.ranges = partition.HorizontalRanges(t.n, t.w)
+	if err := t.initStream(); err != nil {
+		return err
+	}
 	eng, err := newEngine(t)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"runtime"
 
 	"vero/internal/cluster"
 	"vero/internal/datasets"
@@ -78,8 +79,23 @@ type trainer struct {
 	ckptConfigHash string
 	ckptDataFP     string
 
+	// stream serves block reads when the dataset is out-of-core
+	// (ds.OutOfCore()); nil for materialized datasets.
+	stream *colStream
+	// peakHeap is the heap high-water mark sampled at tree boundaries.
+	peakHeap uint64
+
 	// eng is the quadrant strategy prep.go constructed for cfg.Quadrant.
 	eng engine
+}
+
+// sampleHeap updates the heap high-water mark from the runtime.
+func (t *trainer) sampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > t.peakHeap {
+		t.peakHeap = ms.HeapAlloc
+	}
 }
 
 // allocRunState allocates the per-run prediction and gradient buffers,
@@ -118,10 +134,20 @@ func (t *trainer) run(ck *checkpoint) (*Result, error) {
 	lastComp, lastComm := prepComp, prepComm
 	res := &Result{Forest: forest, StartRound: start, PrepSeconds: prepComp + prepComm, TransformBytes: t.eng.transformReport()}
 
+	t.sampleHeap()
 	ckptPath := t.cfg.checkpointPath()
 	for ti := start; ti < t.cfg.Trees; ti++ {
 		t.computeGradients()
 		tr := t.trainTree()
+		if t.stream != nil {
+			// A streaming read failure is sticky: abort at the tree
+			// boundary rather than appending a tree built from partial
+			// data (its histograms saw garbage after the failure point).
+			if err := t.stream.ok(); err != nil {
+				return nil, fmt.Errorf("core: out-of-core training aborted during round %d: %w", ti+1, err)
+			}
+		}
+		t.sampleHeap()
 		forest.Append(tr)
 		if ckptPath != "" && (ti+1)%t.cfg.CheckpointEvery == 0 && ti+1 < t.cfg.Trees {
 			// A failed save is non-fatal: the run keeps training with the
@@ -157,6 +183,7 @@ func (t *trainer) run(ck *checkpoint) (*Result, error) {
 	comp, comm, _ := t.cl.Stats().Totals()
 	res.CompSeconds = comp
 	res.CommSeconds = comm
+	res.PeakHeapBytes = t.peakHeap
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ type verticalEngine struct {
 	shards   []*partition.Shard  // QD4
 	fullRows *sparse.BinnedCSR   // QD4 FullCopy (feature-parallel)
 	cols     []*sparse.BinnedCSC // QD3: per-worker full columns (slot-indexed)
+	blocks   []*rowBlockBuilder  // QD4 out-of-core: per-worker row rebuilders
 	numBins  [][]int             // per worker, per slot
 	n2i      []*index.NodeToInstance
 	i2n      []*index.InstanceToNode // QD3 hybrid
@@ -45,6 +46,14 @@ type verticalEngine struct {
 // feature-parallel keeps a full copy per worker.
 func (e *verticalEngine) prepare() error {
 	t := e.t
+	if t.stream != nil {
+		// initStream already rejected the unstreamable policies
+		// (QD3 column-wise index, QD4 full copy).
+		if t.cfg.Quadrant == QD4 {
+			return e.prepareStreamedVero()
+		}
+		return e.prepareStreamedQD3()
+	}
 	if t.cfg.Quadrant == QD4 && !t.cfg.FullCopy {
 		return e.prepareVero()
 	}
@@ -322,6 +331,10 @@ func (e *verticalEngine) rootTotals() ([]float64, []float64) {
 
 func (e *verticalEngine) buildHistograms(toBuild []*nodeInfo) {
 	t := e.t
+	if t.stream != nil {
+		e.buildHistogramsStreamedVertical(toBuild)
+		return
+	}
 	mem := t.cl.Stats().Mem("histogram")
 	t.cl.Parallel(phaseHist, func(w int) {
 		hs := make([]*histogram.Hist, len(toBuild))
@@ -532,6 +545,10 @@ func (e *verticalEngine) applyLayer(splits map[int32]resolvedSplit, children map
 // fillPlacement writes the left/right bits of one splitting node, owned by
 // worker w (set bit = left child).
 func (e *verticalEngine) fillPlacement(w int, parent int32, sp resolvedSplit, bm *bitmap.Bitmap) {
+	if e.t.stream != nil {
+		e.fillPlacementStreamed(w, parent, sp, bm)
+		return
+	}
 	insts := e.n2i[w].Instances(parent)
 	if sp.defaultLeft {
 		for _, inst := range insts {

@@ -30,13 +30,26 @@ type Dataset struct {
 	// quantized dataset (the splits stay authoritative for subsets of
 	// cache-reconstructed values) and drops it for raw datasets.
 	Prebin *Prebin
+	// Blocks, when non-nil with X nil, serves the binned matrix from
+	// out-of-core storage; see BlockSource.
+	Blocks BlockSource
 }
 
 // NumInstances returns N.
-func (d *Dataset) NumInstances() int { return d.X.Rows() }
+func (d *Dataset) NumInstances() int {
+	if d.OutOfCore() {
+		return d.Blocks.Rows()
+	}
+	return d.X.Rows()
+}
 
 // NumFeatures returns D.
-func (d *Dataset) NumFeatures() int { return d.X.Cols() }
+func (d *Dataset) NumFeatures() int {
+	if d.OutOfCore() {
+		return d.Blocks.Cols()
+	}
+	return d.X.Cols()
+}
 
 // SyntheticConfig parametrizes the paper's generator.
 type SyntheticConfig struct {

@@ -96,6 +96,37 @@ func Cached(dir, source string, opts Options) (*datasets.Dataset, CacheStatus, e
 	return ds, CacheCold, nil
 }
 
+// EnsureCache guarantees a fresh cache image for source under dir,
+// cold-ingesting and writing it when missing or stale, and returns the
+// cache file's path. The name embeds the ingestion parameters (see
+// CachePath), so an existing fresh file at the derived path matches the
+// request by construction. This is the entry point for out-of-core
+// training, which maps the image instead of loading it.
+func EnsureCache(dir, source string, opts Options) (string, CacheStatus, error) {
+	path, err := CachePath(dir, source, opts)
+	if err != nil {
+		return "", "", err
+	}
+	if fresh(path, source) {
+		return path, CacheWarm, nil
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return "", "", err
+	}
+	ds, err := IngestFile(source, opts)
+	if err != nil {
+		return "", "", err
+	}
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
+		return "", "", fmt.Errorf("ingest: cache dir: %w", mkErr)
+	}
+	if err := WriteCacheFile(path, ds, ds.Prebin); err != nil {
+		return "", "", err
+	}
+	return path, CacheCold, nil
+}
+
 // fresh reports whether the cache at path exists and is at least as new
 // as the source file.
 func fresh(path, source string) bool {

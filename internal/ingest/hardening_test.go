@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -78,6 +79,47 @@ func TestReadCacheOversizedHeaderRejected(t *testing.T) {
 	binary.LittleEndian.PutUint64(bad[24:], 1<<50)
 	if _, err := ReadCache(bytes.NewReader(bad), "absurd"); !errors.Is(err, ErrCacheCorrupt) {
 		t.Fatalf("nnz=1<<50: %v", err)
+	}
+}
+
+// countingReader counts how many bytes ReadCache actually consumes.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// TestReadCacheHeaderValidatedFromPrefix: a corrupt or forged header must
+// be rejected from the 64-byte prefix alone — the reader is never asked
+// for the body, so a hostile header cannot make ReadCache slurp (or
+// allocate for) a huge claimed payload.
+func TestReadCacheHeaderValidatedFromPrefix(t *testing.T) {
+	img := sampleCacheImage(t)
+	body := make([]byte, 1<<20) // a large tail the reader must never see
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte)
+	}{
+		{"magic", func(b []byte) { b[0] = 'X' }},
+		{"version", func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 999) }},
+		{"implausible nnz", func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 1<<50) }},
+		{"bin width", func(b []byte) { binary.LittleEndian.PutUint32(b[48:], 7) }},
+	} {
+		hdr := append([]byte(nil), img[:vbinHeaderSize]...)
+		tc.mut(hdr)
+		cr := &countingReader{r: io.MultiReader(bytes.NewReader(hdr), bytes.NewReader(body))}
+		if _, err := ReadCache(cr, tc.name); err == nil {
+			t.Fatalf("%s: corrupt header accepted", tc.name)
+		}
+		if cr.n > vbinHeaderSize {
+			t.Fatalf("%s: reader consumed %d bytes, want <= %d (header prefix only)",
+				tc.name, cr.n, vbinHeaderSize)
+		}
 	}
 }
 

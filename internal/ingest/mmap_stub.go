@@ -1,0 +1,21 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package ingest
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapAvailable reports whether this platform supports memory-mapped
+// cache views; when false MapCacheFile always uses the pread fallback.
+const mmapAvailable = false
+
+// mmapFile is unavailable on this platform; MapCacheFile falls back to
+// positional reads.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("ingest: mmap unavailable on this platform")
+}
+
+// munmapFile matches mmapFile; it is never reached on this platform.
+func munmapFile(_ []byte) error { return nil }

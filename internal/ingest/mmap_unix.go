@@ -1,0 +1,24 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package ingest
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether this platform supports memory-mapped
+// cache views; when false MapCacheFile always uses the pread fallback.
+const mmapAvailable = true
+
+// mmapFile maps size bytes of f read-only and shared. The returned slice
+// aliases the page cache: it must never be written to and must be released
+// with munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

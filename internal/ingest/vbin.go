@@ -175,58 +175,114 @@ func WriteCacheFile(path string, ds *datasets.Dataset, pb *datasets.Prebin) erro
 	return os.Rename(tmp.Name(), path)
 }
 
+// vbinHeader is the decoded 64-byte .vbin header. The header sits outside
+// the payload checksum, so every field here has passed only plausibility
+// checks — sizes must still be cross-checked against the real payload
+// length (checkPayloadSize) before allocation.
+type vbinHeader struct {
+	rows, cols int
+	nnz        int64
+	numClass   int
+	q          int
+	eps        float64
+	binWidth   int
+	crc        uint32
+}
+
+// parseVbinHeader validates a 64-byte header prefix: magic, version,
+// dimension plausibility and bin width. It reads nothing beyond buf, so
+// callers can reject corrupt or forged headers from a capped prefix read
+// without allocating room for the claimed payload.
+func parseVbinHeader(buf []byte) (vbinHeader, error) {
+	var h vbinHeader
+	if len(buf) < vbinHeaderSize || string(buf[:4]) != vbinMagic {
+		return h, corruptf("not a .vbin cache (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != vbinVersion {
+		return h, &CacheMismatchError{Reason: fmt.Sprintf("cache version %d, want %d", v, vbinVersion)}
+	}
+	rows64 := binary.LittleEndian.Uint64(buf[8:])
+	cols64 := binary.LittleEndian.Uint64(buf[16:])
+	nnz64 := binary.LittleEndian.Uint64(buf[24:])
+	// The header is outside the checksum's reach of plausibility: bound the
+	// dimensions before any size arithmetic or allocation can overflow. The
+	// exact per-section length checks downstream do the rest.
+	const maxDim = 1 << 40
+	if rows64 > maxDim || cols64 > maxDim || nnz64 > maxDim {
+		return h, corruptf("implausible shape %dx%d, nnz %d", rows64, cols64, nnz64)
+	}
+	h.rows = int(rows64)
+	h.cols = int(cols64)
+	h.nnz = int64(nnz64)
+	h.numClass = int(binary.LittleEndian.Uint32(buf[32:]))
+	h.q = int(binary.LittleEndian.Uint32(buf[36:]))
+	h.eps = math.Float64frombits(binary.LittleEndian.Uint64(buf[40:]))
+	h.binWidth = int(binary.LittleEndian.Uint32(buf[48:]))
+	h.crc = binary.LittleEndian.Uint32(buf[52:])
+	if h.binWidth != 1 && h.binWidth != 2 {
+		return h, corruptf("bin width %d", h.binWidth)
+	}
+	return h, nil
+}
+
+// minPayload is the smallest payload length consistent with the header
+// (the split-values section has unknown length until the split counts are
+// decoded, so this is a lower bound).
+func (h vbinHeader) minPayload() int64 {
+	c := int64(h.cols)
+	return 4*c + 8*c + 8*(c+1) + 4*h.nnz + int64(h.binWidth)*h.nnz + 4*int64(h.rows)
+}
+
+// checkPayloadSize cross-checks the header's claimed shape against the
+// actual payload size: the checksum covers only the payload, so a corrupt
+// header claiming huge dimensions must be rejected here, not discovered
+// inside a multi-GB allocation further down.
+func (h vbinHeader) checkPayloadSize(payloadLen int64) error {
+	if payloadLen < h.minPayload() {
+		return corruptf("header claims shape %dx%d with %d nonzeros (needs >= %d payload bytes), file holds %d",
+			h.rows, h.cols, h.nnz, h.minPayload(), payloadLen)
+	}
+	return nil
+}
+
 // ReadCache decodes a .vbin image into a dataset whose values are bin
 // representatives (the upper boundary of each value's bin, which re-bins
 // to the identical bin index) and whose Prebin carries the cached splits
 // with Quantized set. Training the result with the cache's (eps, q)
 // yields a model bit-identical to training from the original source.
+//
+// The 64-byte header is read and validated on its own before the payload:
+// a corrupt or forged header fails from the prefix read alone, without
+// the reader ever being asked for (or memory allocated for) the body.
 func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 	if err := failpoint.Inject(FailpointReadCache); err != nil {
 		return nil, fmt.Errorf("ingest: cache read: %w", err)
 	}
-	data, err := io.ReadAll(r)
+	var hbuf [vbinHeaderSize]byte
+	if n, err := io.ReadFull(r, hbuf[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// A sub-header prefix can never parse; report whichever
+			// structural complaint the partial header earns.
+			_, herr := parseVbinHeader(hbuf[:n])
+			return nil, herr
+		}
+		return nil, fmt.Errorf("ingest: cache read: %w", err)
+	}
+	h, err := parseVbinHeader(hbuf[:])
+	if err != nil {
+		return nil, err
+	}
+	payload, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: cache read: %w", err)
 	}
-	if len(data) < vbinHeaderSize || string(data[:4]) != vbinMagic {
-		return nil, corruptf("not a .vbin cache (bad magic)")
+	if err := h.checkPayloadSize(int64(len(payload))); err != nil {
+		return nil, err
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != vbinVersion {
-		return nil, &CacheMismatchError{Reason: fmt.Sprintf("cache version %d, want %d", v, vbinVersion)}
-	}
-	rows64 := binary.LittleEndian.Uint64(data[8:])
-	cols64 := binary.LittleEndian.Uint64(data[16:])
-	nnz64 := binary.LittleEndian.Uint64(data[24:])
-	// The header is outside the checksum's reach of plausibility: bound the
-	// dimensions before any size arithmetic or allocation can overflow. The
-	// exact per-section length checks below do the rest.
-	const maxDim = 1 << 40
-	if rows64 > maxDim || cols64 > maxDim || nnz64 > maxDim {
-		return nil, corruptf("implausible shape %dx%d, nnz %d", rows64, cols64, nnz64)
-	}
-	rows := int(rows64)
-	cols := int(cols64)
-	nnz := int(nnz64)
-	numClass := int(binary.LittleEndian.Uint32(data[32:]))
-	q := int(binary.LittleEndian.Uint32(data[36:]))
-	eps := math.Float64frombits(binary.LittleEndian.Uint64(data[40:]))
-	binWidth := int(binary.LittleEndian.Uint32(data[48:]))
-	wantCRC := binary.LittleEndian.Uint32(data[52:])
-	if binWidth != 1 && binWidth != 2 {
-		return nil, corruptf("bin width %d", binWidth)
-	}
-	payload := data[vbinHeaderSize:]
-	// Cross-check the header's shape against the actual file size before
-	// trusting any of it: the checksum covers only the payload, so a
-	// corrupt header claiming huge dimensions must be rejected here, not
-	// discovered inside a multi-GB allocation further down.
-	minPayload := 4*cols64 + 8*cols64 + 8*(cols64+1) + 4*nnz64 + uint64(binWidth)*nnz64 + 4*rows64
-	if uint64(len(payload)) < minPayload {
-		return nil, corruptf("header claims shape %dx%d with %d nonzeros (needs >= %d payload bytes), file holds %d",
-			rows64, cols64, nnz64, minPayload, len(payload))
-	}
-	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
-		return nil, corruptf("checksum %08x, want %08x", got, wantCRC)
+	rows, cols, nnz := h.rows, h.cols, int(h.nnz)
+	numClass, q, eps, binWidth := h.numClass, h.q, h.eps, h.binWidth
+	if got := crc32.Checksum(payload, crcTable); got != h.crc {
+		return nil, corruptf("checksum %08x, want %08x", got, h.crc)
 	}
 
 	off := 0
@@ -388,13 +444,35 @@ func ReadCache(r io.Reader, name string) (*datasets.Dataset, error) {
 }
 
 // ReadCacheFile reads a .vbin cache from disk; the dataset is named after
-// the file.
+// the file. The header is validated against the file's real size before
+// the body is read, so a forged header cannot trigger a huge allocation.
 func ReadCacheFile(path string) (*datasets.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: %w", err)
 	}
 	defer f.Close()
+	var hbuf [vbinHeaderSize]byte
+	if _, err := io.ReadFull(f, hbuf[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, corruptf("file shorter than the %d-byte header", vbinHeaderSize)
+		}
+		return nil, fmt.Errorf("ingest: cache read: %w", err)
+	}
+	h, err := parseVbinHeader(hbuf[:])
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: cache read: %w", err)
+	}
+	if err := h.checkPayloadSize(st.Size() - vbinHeaderSize); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("ingest: cache read: %w", err)
+	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	return ReadCache(f, name)
 }

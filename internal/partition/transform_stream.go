@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"fmt"
+
+	"vero/internal/cluster"
+	"vero/internal/datasets"
+	"vero/internal/sparse"
+)
+
+// StreamResult is the output of the streamed horizontal-to-vertical
+// transformation: the column grouping and binner the engine trains
+// against, and the wire report. Unlike Transform's Result it carries no
+// shards — the repartitioned rows stay on disk and are rebuilt
+// block-by-block by the trainer.
+type StreamResult struct {
+	Groups [][]int
+	Binner *sparse.Binner
+	Bytes  ByteReport
+}
+
+// TransformStreamed is the out-of-core variant of Transform: it computes
+// the column grouping and charges the transformation's wire costs
+// (Section 4.2.1 steps 2-5) from an on-disk block source without
+// materializing per-worker shards. It requires ingestion-derived splits
+// (Options.Splits/FeatCount): a .vbin-backed dataset always has them, and
+// sketching would need the raw values the binned cache no longer stores.
+//
+// The byte report matches Transform's for the same data exactly: each
+// (source, destination) cell's row and entry counts are identical, only
+// the counting is done by binary searches on the mapped columns instead
+// of walks over materialized blocks.
+func TransformStreamed(cl *cluster.Cluster, src datasets.BlockSource, labels []float32, opts Options) (*StreamResult, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	rows, d := src.Rows(), src.Cols()
+	if rows != len(labels) {
+		return nil, fmt.Errorf("partition: %d rows but %d labels", rows, len(labels))
+	}
+	if opts.Splits == nil || opts.FeatCount == nil {
+		return nil, fmt.Errorf("partition: streamed transformation requires ingestion-derived splits (train from a .vbin cache)")
+	}
+	if len(opts.Splits) != d || len(opts.FeatCount) != d {
+		return nil, fmt.Errorf("partition: prebin covers %d features, matrix has %d", len(opts.Splits), d)
+	}
+	w := cl.Workers()
+	ranges := HorizontalRanges(rows, w)
+	var report ByteReport
+
+	// Step 2 (warm): broadcast the ingestion-derived candidate splits.
+	binner := &sparse.Binner{Splits: opts.Splits}
+	var splitBytes int64
+	for f := 0; f < d; f++ {
+		splitBytes += int64(len(opts.Splits[f])) * 4
+	}
+	cl.Broadcast("transform.splits", splitBytes)
+	report.SplitBroadcast = splitBytes
+
+	// Step 3: column grouping. The per-(source, destination) entry counts
+	// that size the repartition come from two binary searches per
+	// (feature, source) on the mapped columns.
+	groups := GroupColumnsBalanced(opts.FeatCount, w)
+	groupOf := make([]int32, d)
+	for g, feats := range groups {
+		for _, f := range feats {
+			groupOf[f] = int32(g)
+		}
+	}
+	nnz := make([][]int64, w)
+	for i := range nnz {
+		nnz[i] = make([]int64, w)
+	}
+	errs := make([]error, w)
+	cl.Parallel("transform.group", func(srcW int) {
+		lo, hi := ranges[srcW][0], ranges[srcW][1]
+		for f := 0; f < d; f++ {
+			clo, chi := src.ColRange(f)
+			from, err := src.SearchInst(clo, chi, uint32(lo))
+			if err != nil {
+				errs[srcW] = err
+				return
+			}
+			to := chi
+			if hi < rows {
+				if to, err = src.SearchInst(from, chi, uint32(hi)); err != nil {
+					errs[srcW] = err
+					return
+				}
+			}
+			nnz[srcW][groupOf[f]] += to - from
+		}
+	})
+	if err := cluster.FirstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Step 4: charge the selected repartition variant; report all three.
+	naive := make([][]int64, w)
+	compressed := make([][]int64, w)
+	blockified := make([][]int64, w)
+	binWidth := BinWidthBytes(opts.Q)
+	for s := 0; s < w; s++ {
+		naive[s] = make([]int64, w)
+		compressed[s] = make([]int64, w)
+		blockified[s] = make([]int64, w)
+		nrows := int64(ranges[s][1] - ranges[s][0])
+		for dst := 0; dst < w; dst++ {
+			n := nnz[s][dst]
+			fw := FeatWidthBytes(len(groups[dst]))
+			naive[s][dst] = n*naiveKVBytes + nrows*perObjectOverheadBytes
+			compressed[s][dst] = n*(fw+binWidth) + nrows*perObjectOverheadBytes
+			// Block wire image (Block.WireSizeBytes): 16-byte header,
+			// nrows+1 row pointers at 4 bytes, packed entries.
+			blockified[s][dst] = 16 + (nrows+1)*4 + n*(fw+binWidth)
+		}
+	}
+	sumOffDiag := func(m [][]int64) int64 {
+		var t int64
+		for i := range m {
+			for j := range m[i] {
+				if i != j {
+					t += m[i][j]
+				}
+			}
+		}
+		return t
+	}
+	report.NaiveShuffle = sumOffDiag(naive)
+	report.CompressedShuffle = sumOffDiag(compressed)
+	report.BlockifiedShuffle = sumOffDiag(blockified)
+	switch opts.Charge {
+	case VariantNaive:
+		cl.Shuffle("transform.repartition", naive)
+	case VariantCompressed:
+		cl.Shuffle("transform.repartition", compressed)
+	default:
+		cl.Shuffle("transform.repartition", blockified)
+	}
+
+	// Step 5: label gather + broadcast.
+	labelBytes := int64(len(labels)) * 4
+	cl.PointToPoint("transform.labels", labelBytes)
+	cl.Broadcast("transform.labels", labelBytes)
+	report.LabelBroadcast = labelBytes
+
+	return &StreamResult{Groups: groups, Binner: binner, Bytes: report}, nil
+}
