@@ -7,6 +7,7 @@
 //	veroctl train -data train.libsvm -classes 2 -system vero -model model.json
 //	veroctl train -data train.csv -format csv -cache .vero-cache -quadrant auto -model model.json
 //	veroctl train -data train.libsvm -checkpoint-dir ckpt -checkpoint-every 10 -model model.json
+//	veroctl train -data train.vbin -workers host1:9000,host2:9000 -rank 0 -model model.json
 //	veroctl ingest -data train.libsvm -classes 2 -out train.vbin
 //	veroctl eval  -data valid.libsvm -classes 2 -model model.json
 //	veroctl predict -data test.libsvm -classes 2 -model model.json
@@ -21,7 +22,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"vero/gbdt"
@@ -198,7 +202,11 @@ func cmdTrain(args []string) error {
 	classes := fs.Int("classes", 2, "1=regression, 2=binary, >2=multi-class")
 	system := fs.String("system", "vero", "GBDT system (see 'veroctl systems')")
 	quadrant := fs.String("quadrant", "", "data-management quadrant: qd1..qd4, or 'auto' to let the advisor choose (overrides -system)")
-	workers := fs.Int("workers", 8, "simulated workers")
+	workers := fs.String("workers", "8", "simulated worker count, or a comma-separated host:port list naming every rank of a real TCP deployment")
+	rank := fs.Int("rank", 0, "this process's rank in the -workers peer list (distributed runs)")
+	listen := fs.String("listen", "", "listen address override for this rank, e.g. \":9000\" behind NAT (distributed runs; default: own -workers entry)")
+	dialTimeout := fs.Duration("dial-timeout", 0, "mesh establishment timeout, including retries while peers start (distributed runs; default 30s)")
+	opTimeout := fs.Duration("op-timeout", 0, "per-frame send/receive deadline inside collectives (distributed runs; default 30s)")
 	concurrent := fs.Bool("concurrent", false, "run simulated workers on goroutines (needs ~workers idle cores for timing fidelity)")
 	trees := fs.Int("trees", 100, "number of trees (T)")
 	layers := fs.Int("layers", 8, "tree layers (L)")
@@ -220,8 +228,12 @@ func cmdTrain(args []string) error {
 	if (*ckptDir == "") != (*ckptEvery == 0) {
 		return fmt.Errorf("-checkpoint-dir and -checkpoint-every must be set together")
 	}
+	simWorkers, dist, err := parseWorkers(*workers, *rank, *listen, *dialTimeout, *opTimeout)
+	if err != nil {
+		return err
+	}
 	opts, err := finish(gbdt.Options{
-		System: gbdt.System(*system), Workers: *workers, Concurrent: *concurrent,
+		System: gbdt.System(*system), Workers: simWorkers, Distributed: dist, Concurrent: *concurrent,
 		Trees: *trees, Layers: *layers, Splits: *splits,
 		LearningRate: *eta, Lambda: *lambda, Gamma: *gamma,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
@@ -262,12 +274,17 @@ func cmdTrain(args []string) error {
 	if report.CheckpointErr != nil {
 		fmt.Fprintf(os.Stderr, "veroctl: warning: checkpointing degraded: %v\n", report.CheckpointErr)
 	}
-	enc, err := m.Encode()
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(*model, enc, 0o644); err != nil {
-		return err
+	// Every rank trains the bit-identical model; only rank 0 persists it
+	// so co-located workers don't race on the output path.
+	writeModel := !report.Distributed || report.Rank == 0
+	if writeModel {
+		enc, err := m.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*model, enc, 0o644); err != nil {
+			return err
+		}
 	}
 	if sel := report.Selection; sel != nil {
 		policy = sel.Quadrant.String()
@@ -277,9 +294,57 @@ func cmdTrain(args []string) error {
 	fmt.Printf("trained %d trees on %d x %d (%s)\n", m.NumTrees(), ds.NumInstances(), ds.NumFeatures(), policy)
 	fmt.Printf("simulated: comp %.3fs  comm %.3fs  prep %.3fs  comm volume %.1f MB\n",
 		report.CompSeconds, report.CommSeconds, report.PrepSeconds, float64(report.CommBytes)/(1<<20))
+	if report.Distributed {
+		printDistributed(report, len(dist.Peers))
+	}
 	fmt.Printf("peak heap: %.1f MiB\n", float64(report.PeakHeapBytes)/(1<<20))
-	fmt.Printf("model written to %s\n", *model)
+	if writeModel {
+		fmt.Printf("model written to %s\n", *model)
+	}
 	return nil
+}
+
+// parseWorkers interprets -workers: a bare integer is a simulated worker
+// count; a comma-separated host:port list is a real deployment's peer
+// roster, one entry per rank.
+func parseWorkers(spec string, rank int, listen string, dialTimeout, opTimeout time.Duration) (int, *gbdt.DistributedOptions, error) {
+	if n, err := strconv.Atoi(strings.TrimSpace(spec)); err == nil {
+		return n, nil, nil
+	}
+	peers := strings.Split(spec, ",")
+	for i, p := range peers {
+		peers[i] = strings.TrimSpace(p)
+		if _, _, err := net.SplitHostPort(peers[i]); err != nil {
+			return 0, nil, fmt.Errorf("-workers entry %q: %w", peers[i], err)
+		}
+	}
+	if rank < 0 || rank >= len(peers) {
+		return 0, nil, fmt.Errorf("-rank %d out of range for %d peers", rank, len(peers))
+	}
+	return len(peers), &gbdt.DistributedOptions{
+		Peers: peers, Rank: rank, Listen: listen,
+		DialTimeout: dialTimeout, OpTimeout: opTimeout,
+	}, nil
+}
+
+// printDistributed prints the measured transport numbers next to the
+// alpha-beta model's predictions, totals first, then per phase. The two
+// byte columns agree by construction — the accounted volume is exactly
+// the payload the transport moves — so a mismatch means a lost frame.
+func printDistributed(report *gbdt.Report, peers int) {
+	check := "bytes agree"
+	if report.MeasuredCommBytes != report.CommBytes {
+		check = "BYTE MISMATCH"
+	}
+	fmt.Printf("distributed: rank %d of %d peers\n", report.Rank, peers)
+	fmt.Printf("measured: comm %.3fs  payload %.1f MB (%s)  wire %.1f MB incl. framing\n",
+		report.MeasuredCommSeconds, float64(report.MeasuredCommBytes)/(1<<20), check,
+		float64(report.WireBytes)/(1<<20))
+	fmt.Printf("%-22s %14s %14s %12s %12s\n", "phase", "accounted B", "measured B", "model s", "measured s")
+	for _, p := range report.Phases {
+		fmt.Printf("%-22s %14d %14d %12.4f %12.4f\n",
+			p.Phase, p.AccountedBytes, p.MeasuredBytes, p.ModelSeconds, p.MeasuredSeconds)
+	}
 }
 
 func loadModelAndData(fs *flag.FlagSet, args []string) (*gbdt.Model, *gbdt.Dataset, error) {

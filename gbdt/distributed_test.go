@@ -1,0 +1,195 @@
+package gbdt
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vero/internal/cluster/tcptransport"
+	"vero/internal/failpoint"
+)
+
+// loopbackMesh pre-binds one port-0 loopback listener per rank so every
+// peer's address exists before any rank dials, and returns the resulting
+// rank-ordered peer list with the listeners to hand each rank.
+func loopbackMesh(t *testing.T, w int) ([]string, []net.Listener) {
+	t.Helper()
+	peers := make([]string, w)
+	lns := make([]net.Listener, w)
+	for r := 0; r < w; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	return peers, lns
+}
+
+// distDataset builds the dataset every rank of a test deployment loads.
+// Synthetic generation is deterministic, so separate calls stand in for
+// separate processes reading the same file.
+func distDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Synthetic(SyntheticConfig{N: 400, D: 24, C: 2, InformativeRatio: 0.5, Density: 0.5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// distRank is one rank's training outcome.
+type distRank struct {
+	enc    []byte
+	report *Report
+	err    error
+}
+
+// trainMesh trains opts on a W-rank loopback mesh, one goroutine per
+// rank, each with its own independently loaded dataset.
+func trainMesh(t *testing.T, opts Options, w int) []distRank {
+	t.Helper()
+	peers, lns := loopbackMesh(t, w)
+	outs := make([]distRank, w)
+	var wg sync.WaitGroup
+	for r := 0; r < w; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ds, err := Synthetic(SyntheticConfig{N: 400, D: 24, C: 2, InformativeRatio: 0.5, Density: 0.5, Seed: 21})
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			o := opts
+			o.Distributed = &DistributedOptions{
+				Peers: peers, Rank: r, listener: lns[r],
+				DialTimeout: 10 * time.Second, OpTimeout: 10 * time.Second,
+			}
+			m, rep, err := Train(ds, o)
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			outs[r].report = rep
+			outs[r].enc, outs[r].err = m.Encode()
+		}(r)
+	}
+	wg.Wait()
+	return outs
+}
+
+// TestSocketTrainingBitIdentical is the tentpole acceptance test: for
+// every quadrant (and both QD2 aggregation schemes), a real TCP loopback
+// deployment of 2 and 4 ranks must train byte-for-byte the model a
+// single-process simulation of the same worker count produces, and every
+// phase's measured payload must equal the alpha-beta model's accounted
+// volume exactly.
+func TestSocketTrainingBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up multi-rank TCP meshes")
+	}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"qd1-allreduce", Options{Quadrant: QD1}},
+		{"qd2-reducescatter", Options{Quadrant: QD2}},
+		{"qd2-paramserver", Options{System: SystemDimBoost}},
+		{"qd3-hybrid", Options{Quadrant: QD3}},
+		{"qd4-vero", Options{Quadrant: QD4}},
+	}
+	for _, tc := range cases {
+		for _, w := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", tc.name, w), func(t *testing.T) {
+				opts := tc.opts
+				opts.Workers = w
+				opts.Trees = 2
+				opts.Layers = 4
+				opts.Splits = 12
+				simM, simR, err := Train(distDataset(t), opts)
+				if err != nil {
+					t.Fatalf("simulated: %v", err)
+				}
+				want := encode(t, simM)
+
+				outs := trainMesh(t, opts, w)
+				for r, out := range outs {
+					if out.err != nil {
+						t.Fatalf("rank %d: %v", r, out.err)
+					}
+					if !bytes.Equal(out.enc, want) {
+						t.Errorf("rank %d: socket-trained model differs from the simulation", r)
+					}
+					rep := out.report
+					if !rep.Distributed || rep.Rank != r {
+						t.Errorf("rank %d: report says distributed=%v rank=%d", r, rep.Distributed, rep.Rank)
+					}
+					// The model's accounted volume is invariant across
+					// backends, and the deployment-wide measured payload
+					// must match it phase by phase.
+					if rep.CommBytes != simR.CommBytes {
+						t.Errorf("rank %d: accounted %d B, simulation accounted %d B", r, rep.CommBytes, simR.CommBytes)
+					}
+					if rep.MeasuredCommBytes != rep.CommBytes {
+						t.Errorf("rank %d: measured %d B != accounted %d B", r, rep.MeasuredCommBytes, rep.CommBytes)
+					}
+					if rep.WireBytes <= 0 {
+						t.Errorf("rank %d: wire volume %d B, want framing overhead on top of the payload", r, rep.WireBytes)
+					}
+					for _, p := range rep.Phases {
+						if p.MeasuredBytes != p.AccountedBytes {
+							t.Errorf("rank %d phase %s: measured %d B != accounted %d B", r, p.Phase, p.MeasuredBytes, p.AccountedBytes)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDistributedAbortsAtTreeBoundary injects a transport write failure
+// after the first tree completes: every rank must abort with the trainer's
+// tree-boundary error instead of hanging or appending a half-reduced tree.
+func TestDistributedAbortsAtTreeBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a TCP mesh")
+	}
+	defer failpoint.Reset()
+	opts := Options{Quadrant: QD1, Trees: 4, Layers: 4, Splits: 12}
+	opts.OnTree = func(i int, _ float64, _ *Tree) {
+		// Arm on every rank's first tree boundary; the point is global to
+		// the process, so the first rank to finish tree 0 breaks the mesh.
+		if i == 0 {
+			if err := failpoint.Enable(tcptransport.FailpointWrite, "error"); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	for r, out := range trainMesh(t, opts, 2) {
+		if out.err == nil {
+			t.Fatalf("rank %d: training succeeded with a broken transport", r)
+		}
+		if !strings.Contains(out.err.Error(), "distributed training aborted during round") {
+			t.Errorf("rank %d: error %q is not the tree-boundary abort", r, out.err)
+		}
+	}
+}
+
+// TestDistributedRejections covers the v1 feature gates: options that
+// cannot keep ranks bit-identical must be refused up front.
+func TestDistributedRejections(t *testing.T) {
+	ds := distDataset(t)
+	opts := Options{Trees: 1, Layers: 3,
+		Distributed: &DistributedOptions{Peers: []string{"127.0.0.1:1", "127.0.0.1:2"}}}
+	if _, _, err := TrainWithEarlyStopping(ds, ds, opts, 2); err == nil ||
+		!strings.Contains(err.Error(), "early stopping") {
+		t.Errorf("early stopping on a distributed cluster: err = %v", err)
+	}
+}

@@ -57,6 +57,9 @@ func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (
 	if patience <= 0 {
 		return nil, nil, fmt.Errorf("gbdt: patience %d", patience)
 	}
+	if opts.Distributed != nil {
+		return nil, nil, fmt.Errorf("gbdt: early stopping is not supported on a distributed cluster")
+	}
 	opts = opts.withDefaults()
 	numClass := 1
 	if train.NumClass > 2 {

@@ -150,6 +150,13 @@ type Options struct {
 	// order-normalized); timing fidelity requires ~W idle cores, which is
 	// why the exactly-measured sequential mode stays the default.
 	Concurrent bool
+	// Distributed, when non-nil, replaces the in-process simulation with a
+	// real TCP worker mesh: this process becomes one rank of the
+	// deployment described by the peer list, every collective moves its
+	// payload over sockets in the simulation's reduction order, and the
+	// trained model is bit-identical to the simulated run. len(Peers)
+	// overrides Workers. See docs/DISTRIBUTED.md.
+	Distributed *DistributedOptions
 
 	// Trees (T, default 100), Layers (L, default 8) and Splits (q,
 	// default 20) follow Section 5.1.
@@ -310,21 +317,58 @@ type Report struct {
 	// (a periodic save that could not be written, or a completed run's
 	// checkpoint that could not be removed). The model itself is valid.
 	CheckpointErr error
+
+	// Distributed is true when training ran over a real TCP worker mesh
+	// (Options.Distributed); the fields below are then populated.
+	Distributed bool
+	// Rank is this process's rank in the deployment (0 on the simulation).
+	Rank int
+	// MeasuredCommSeconds is wall-clock spent in transport operations,
+	// per phase the slowest rank's, summed over phases — the measured
+	// counterpart of CommSeconds' alpha-beta prediction.
+	MeasuredCommSeconds float64
+	// MeasuredCommBytes is the collective payload volume the deployment
+	// put on the wire, summed across ranks. Equal to CommBytes by
+	// construction: the model's accounted volume is what the transport
+	// sends.
+	MeasuredCommBytes int64
+	// WireBytes is this rank's raw transmitted volume including frame
+	// headers and checksums (the framing overhead above CommBytes' share).
+	WireBytes int64
+	// Phases is the per-phase accounted-vs-measured communication table.
+	Phases []PhaseComm
 }
 
-// Train fits a GBDT model to the dataset.
+// Train fits a GBDT model to the dataset. With Options.Distributed set it
+// trains this rank's share of a real multi-process deployment instead;
+// the mesh is closed before returning.
 func Train(ds *Dataset, opts Options) (*Model, *Report, error) {
 	opts = opts.withDefaults()
-	cl := newCluster(opts)
+	cl, err := connectCluster(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cl.Close()
 	res, err := runTrain(cl, ds, opts, baseConfig(opts))
 	if err != nil {
 		return nil, nil, err
+	}
+	if cl.Distributed() {
+		// Replace each rank's local measurements with the deployment-wide
+		// record (bytes summed, wall-clock maxed) so every rank reports
+		// the same measured-vs-accounted table.
+		if err := cl.SyncMeasured(); err != nil {
+			return nil, nil, err
+		}
 	}
 	return &Model{forest: res.Forest}, buildReport(cl, res), nil
 }
 
 // withDefaults fills the unset cluster options.
 func (o Options) withDefaults() Options {
+	if o.Distributed != nil {
+		o.Workers = len(o.Distributed.Peers)
+	}
 	if o.Workers == 0 {
 		o.Workers = 8
 	}
@@ -337,7 +381,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// newCluster builds the simulated cluster the options describe.
+// newCluster builds the simulated cluster the options describe (entry
+// points that do not support a distributed transport).
 func newCluster(opts Options) *cluster.Cluster {
 	if opts.Concurrent {
 		return cluster.New(opts.Workers, opts.Network, cluster.WithConcurrent())
@@ -388,19 +433,26 @@ func runTrain(cl *cluster.Cluster, ds *Dataset, opts Options, base core.Config) 
 // cluster's accumulated statistics.
 func buildReport(cl *cluster.Cluster, res *core.Result) *Report {
 	_, _, bytes := cl.Stats().Totals()
+	measuredSec, measuredBytes := cl.Stats().MeasuredTotals()
 	return &Report{
-		PerTreeSeconds:     res.PerTreeSeconds,
-		Selection:          res.Selection,
-		CompSeconds:        res.CompSeconds,
-		CommSeconds:        res.CommSeconds,
-		PrepSeconds:        res.PrepSeconds,
-		CommBytes:          bytes,
-		HistogramPeakBytes: cl.Stats().Mem("histogram").MaxPeak(),
-		DataBytes:          cl.Stats().Mem("data").MaxPeak(),
-		TransformBytes:     res.TransformBytes,
-		StartRound:         res.StartRound,
-		PeakHeapBytes:      res.PeakHeapBytes,
-		CheckpointErr:      res.CheckpointErr,
+		Distributed:         cl.Distributed(),
+		Rank:                cl.Rank(),
+		MeasuredCommSeconds: measuredSec,
+		MeasuredCommBytes:   measuredBytes,
+		WireBytes:           cl.WireBytes(),
+		Phases:              phaseComms(cl),
+		PerTreeSeconds:      res.PerTreeSeconds,
+		Selection:           res.Selection,
+		CompSeconds:         res.CompSeconds,
+		CommSeconds:         res.CommSeconds,
+		PrepSeconds:         res.PrepSeconds,
+		CommBytes:           bytes,
+		HistogramPeakBytes:  cl.Stats().Mem("histogram").MaxPeak(),
+		DataBytes:           cl.Stats().Mem("data").MaxPeak(),
+		TransformBytes:      res.TransformBytes,
+		StartRound:          res.StartRound,
+		PeakHeapBytes:       res.PeakHeapBytes,
+		CheckpointErr:       res.CheckpointErr,
 	}
 }
 

@@ -42,12 +42,16 @@ func TenGigabit() NetworkModel {
 	return NetworkModel{LatencySec: 5e-5, BandwidthBytesPerSec: 1.25e9}
 }
 
-// Cluster is a simulated cluster of W workers.
+// Cluster is a cluster of W workers. By default every worker is simulated
+// in-process and communication is only accounted (tr == nil); with
+// WithTransport the cluster becomes one rank of a real W-process
+// deployment and collectives additionally move payloads over the wire.
 type Cluster struct {
 	w          int
 	net        NetworkModel
 	concurrent bool
 	stats      *Stats
+	tr         Transport
 }
 
 // Option configures a Cluster.

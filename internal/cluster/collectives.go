@@ -3,32 +3,53 @@ package cluster
 import "fmt"
 
 // Collective primitives. Each reduces/moves data that in a real deployment
-// would cross the network; here the data movement happens in memory while
-// the byte volume and simulated wall time are recorded under the caller's
-// phase label.
+// crosses the network; the byte volume and simulated wall time are always
+// recorded under the caller's phase label against the alpha-beta model.
+// On the simulated backend (the default) the data movement happens in
+// memory; with a real transport attached (WithTransport) the same
+// collectives move their payloads over the wire — in the same rank-ordered
+// reduction order, so trained models are bit-identical — and the phase
+// additionally records measured bytes and wall-clock.
 //
 // Cost model (W workers, n bytes of payload per worker, alpha latency,
 // beta seconds/byte — Thakur et al., cited as [36] by the paper):
 //
-//	all-reduce (ring):      2(W-1) steps, each moving n/W bytes per worker
-//	reduce-scatter (ring):  (W-1) steps, each moving n/W bytes per worker
+//	all-reduce (ring):      2(W-1) steps, 2(W-1)*n total bytes
+//	reduce-scatter (ring):  (W-1) steps, (W-1)*n total bytes
 //	gather (to one root):   root receives (W-1) * n bytes serially
-//	broadcast (binomial):   ceil(log2 W) steps, n bytes per step
+//	broadcast (binomial):   ceil(log2 W) steps, (W-1)*n total bytes
 //	all-gather (small):     every worker receives (W-1) * n bytes
 //	all-to-all (shuffle):   bounded by the busiest worker's send+recv bytes
+//
+// The charged totals are exact: they equal the bytes a direct-exchange
+// implementation of the collective puts on the wire, which is what the
+// TCP backend's measured-vs-accounted equality check relies on.
+//
+// Locals convention: every data collective takes a locals slice of length
+// W. On the simulation all entries are non-nil (every worker is hosted
+// in-process); on a distributed cluster exactly the hosted workers'
+// entries are non-nil — ParallelLocal produces this shape naturally.
 
 const float64Size = 8
+
+// EvenBounds splits n elements into parts contiguous segments: segment s
+// covers [bounds[s], bounds[s+1]). It is the canonical segment layout
+// shared by the collectives and any transport implementation.
+func EvenBounds(n, parts int) []int {
+	bounds := make([]int, parts+1)
+	for s := 0; s <= parts; s++ {
+		bounds[s] = s * n / parts
+	}
+	return bounds
+}
 
 // AllReduceSum element-wise sums the per-worker arrays and returns the
 // global array. Every worker ends up holding the result (ring all-reduce).
 // The minimal data transferred per worker is the size of its local
 // histogram — the paper's lower bound in Section 3.1.3.
 func (c *Cluster) AllReduceSum(phase string, locals [][]float64) []float64 {
-	if len(locals) != c.w {
-		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
-	}
-	sum := sumAligned(locals)
-	c.ChargeAllReduce(phase, int64(len(sum))*float64Size)
+	sum := make([]float64, c.localLen(locals))
+	c.AllReduceSumInto(phase, locals, sum)
 	return sum
 }
 
@@ -37,71 +58,116 @@ func (c *Cluster) AllReduceSum(phase string, locals [][]float64) []float64 {
 // callers that recycle result buffers instead of taking a fresh
 // allocation per reduction.
 func (c *Cluster) AllReduceSumInto(phase string, locals [][]float64, dst []float64) {
-	if len(locals) != c.w {
-		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
-	}
-	sumAlignedInto(locals, dst)
+	c.sumLocalInto(locals, dst)
 	c.ChargeAllReduce(phase, int64(len(dst))*float64Size)
+	if c.tr != nil {
+		c.transportOp(phase, func() error { return c.tr.AllReduce(phase, dst) })
+	}
 }
 
 // ChargeAllReduce records the cost of ring all-reducing a payload of n
 // bytes per worker without moving data (for callers that reduce in place).
 func (c *Cluster) ChargeAllReduce(phase string, n int64) {
-	perWorkerBytes := int64(2) * int64(c.w-1) * n / int64(c.w)
-	c.stats.addComm(phase, OpAllReduce, perWorkerBytes*int64(c.w),
+	total := 2 * int64(c.w-1) * n
+	c.stats.addComm(phase, OpAllReduce, total,
 		c.simTime(2*(c.w-1), float64(n)/float64(c.w)*2*float64(c.w-1)))
+}
+
+// AllReduceMerged all-reduces buffers that already hold the hosted
+// workers' merged contribution in place: charge-only on the simulation
+// (where the buffers are already the global sum), a real all-reduce on a
+// distributed cluster. It serves reductions whose simulation merges
+// incrementally into shared accumulators instead of materializing
+// per-worker arrays (QD1's shared histogram accumulators). The buffers
+// are charged as one payload — one collective of their combined size.
+func (c *Cluster) AllReduceMerged(phase string, bufs ...[]float64) {
+	c.ChargeAllReduce(phase, mergedBytes(bufs))
+	if c.tr != nil {
+		for _, buf := range bufs {
+			buf := buf
+			c.transportOp(phase, func() error { return c.tr.AllReduce(phase, buf) })
+		}
+	}
 }
 
 // ReduceScatterSum element-wise sums the per-worker arrays; worker i ends
 // up owning the i-th contiguous shard of the result. The full summed
 // array and the shard ranges are returned (LightGBM's aggregation,
 // Section 4.1). Only the reduce-scatter bytes are charged; exchanging the
-// subsequent per-shard best splits is a separate AllGatherSmall.
+// subsequent per-shard best splits is a separate all-gather.
 func (c *Cluster) ReduceScatterSum(phase string, locals [][]float64) (sum []float64, shard [][2]int) {
-	if len(locals) != c.w {
-		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
-	}
-	sum = sumAligned(locals)
-	c.ChargeReduceScatter(phase, int64(len(sum))*float64Size)
-	shard = make([][2]int, c.w)
+	sum = make([]float64, c.localLen(locals))
 	per := (len(sum) + c.w - 1) / c.w
+	bounds := make([]int, c.w+1)
+	shard = make([][2]int, c.w)
 	for w := 0; w < c.w; w++ {
 		lo := min(w*per, len(sum))
 		hi := min(lo+per, len(sum))
 		shard[w] = [2]int{lo, hi}
+		bounds[w], bounds[w+1] = lo, hi
 	}
+	c.ReduceScatterSumInto(phase, locals, sum, bounds)
 	return sum, shard
 }
 
 // ReduceScatterSumInto is ReduceScatterSum reducing into a caller-owned
-// dst (overwritten), for callers that do not need the shard ranges.
-func (c *Cluster) ReduceScatterSumInto(phase string, locals [][]float64, dst []float64) {
-	if len(locals) != c.w {
-		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
-	}
-	sumAlignedInto(locals, dst)
+// dst (overwritten). bounds assigns dst's contiguous segments to their
+// owning workers (segment s, [bounds[s], bounds[s+1]), belongs to worker
+// s); nil means an even element split. On the simulation the whole dst is
+// the global sum; on a distributed cluster only this rank's segment is —
+// callers must read each segment at its owner, which is where the
+// aggregation methods place the follow-up work anyway.
+func (c *Cluster) ReduceScatterSumInto(phase string, locals [][]float64, dst []float64, bounds []int) {
+	c.sumLocalInto(locals, dst)
 	c.ChargeReduceScatter(phase, int64(len(dst))*float64Size)
+	if c.tr != nil {
+		if bounds == nil {
+			bounds = EvenBounds(len(dst), c.w)
+		}
+		c.transportOp(phase, func() error { return c.tr.ReduceScatter(phase, dst, bounds) })
+	}
 }
 
 // ChargeReduceScatter records the cost of ring reduce-scattering n bytes
 // per worker without moving data.
 func (c *Cluster) ChargeReduceScatter(phase string, n int64) {
-	perWorkerBytes := int64(c.w-1) * n / int64(c.w)
-	c.stats.addComm(phase, OpReduceScatter, perWorkerBytes*int64(c.w),
+	total := int64(c.w-1) * n
+	c.stats.addComm(phase, OpReduceScatter, total,
 		c.simTime(c.w-1, float64(n)/float64(c.w)*float64(c.w-1)))
 }
 
-// GatherSum element-wise sums the per-worker arrays at a single root
-// (DimBoost's parameter-server aggregation collapses to this when the PS
-// has one shard; use ShardedGatherSum for multiple shards).
-func (c *Cluster) GatherSum(phase string, locals [][]float64) []float64 {
-	if len(locals) != c.w {
-		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+// ReduceScatterMerged is AllReduceMerged's reduce-scatter counterpart:
+// the buffers hold the hosted workers' merged contribution; after the
+// call each bounds segment is globally reduced at its owner (everywhere
+// on the simulation). nil bounds means an even element split, applied to
+// each buffer separately; all buffers share one charge.
+func (c *Cluster) ReduceScatterMerged(phase string, bounds []int, bufs ...[]float64) {
+	c.ChargeReduceScatter(phase, mergedBytes(bufs))
+	if c.tr != nil {
+		for _, buf := range bufs {
+			b := bounds
+			if b == nil {
+				b = EvenBounds(len(buf), c.w)
+			}
+			buf := buf
+			c.transportOp(phase, func() error { return c.tr.ReduceScatter(phase, buf, b) })
+		}
 	}
-	sum := sumAligned(locals)
+}
+
+// GatherSum element-wise sums the per-worker arrays at a single root —
+// worker 0 (DimBoost's parameter-server aggregation collapses to this
+// when the PS has one shard; use ShardedGatherSum for multiple shards).
+// On a distributed cluster the result is defined at the root only.
+func (c *Cluster) GatherSum(phase string, locals [][]float64) []float64 {
+	sum := make([]float64, c.localLen(locals))
+	c.sumLocalInto(locals, sum)
 	n := int64(len(sum)) * float64Size
 	total := int64(c.w-1) * n
 	c.stats.addComm(phase, OpGather, total, c.simTime(c.w-1, float64(total)))
+	if c.tr != nil {
+		c.transportOp(phase, func() error { return c.tr.Gather(phase, sum, 0) })
+	}
 	return sum
 }
 
@@ -110,25 +176,28 @@ func (c *Cluster) GatherSum(phase string, locals [][]float64) []float64 {
 // of its local array to each shard owner, so the per-link volume divides
 // by the shard count and shards receive in parallel.
 func (c *Cluster) ShardedGatherSum(phase string, locals [][]float64, shards int) []float64 {
-	if shards <= 0 {
-		panic(fmt.Sprintf("cluster: shard count %d", shards))
-	}
-	sum := sumAligned(locals)
-	c.ChargeShardedGather(phase, int64(len(sum))*float64Size, shards)
+	sum := make([]float64, c.localLen(locals))
+	c.ShardedGatherSumInto(phase, locals, sum, shards, nil)
 	return sum
 }
 
 // ShardedGatherSumInto is ShardedGatherSum reducing into a caller-owned
-// dst (overwritten).
-func (c *Cluster) ShardedGatherSumInto(phase string, locals [][]float64, dst []float64, shards int) {
-	if shards <= 0 {
-		panic(fmt.Sprintf("cluster: shard count %d", shards))
+// dst (overwritten). bounds assigns dst's segments to the shard servers
+// (segment s belongs to worker s, s < shards); nil means an even element
+// split over the shards. On a distributed cluster only each server's
+// segment is globally reduced, at that server.
+func (c *Cluster) ShardedGatherSumInto(phase string, locals [][]float64, dst []float64, shards int, bounds []int) {
+	if shards <= 0 || shards > c.w {
+		panic(fmt.Sprintf("cluster: shard count %d for %d workers", shards, c.w))
 	}
-	if len(locals) != c.w {
-		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
-	}
-	sumAlignedInto(locals, dst)
+	c.sumLocalInto(locals, dst)
 	c.ChargeShardedGather(phase, int64(len(dst))*float64Size, shards)
+	if c.tr != nil {
+		if bounds == nil {
+			bounds = EvenBounds(len(dst), shards)
+		}
+		c.transportOp(phase, func() error { return c.tr.ReduceScatter(phase, dst, bounds) })
+	}
 }
 
 // ChargeShardedGather records the cost of a sharded gather of n bytes per
@@ -139,33 +208,112 @@ func (c *Cluster) ChargeShardedGather(phase string, n int64, shards int) {
 	c.stats.addComm(phase, OpGather, total, c.simTime(c.w-1, perShard))
 }
 
-// Broadcast charges a binomial-tree broadcast of b payload bytes from one
-// root to the other W-1 workers (e.g. the instance-placement bitmap of
-// vertical partitioning, Section 3.1.3).
-func (c *Cluster) Broadcast(phase string, b int64) {
-	steps := ceilLog2(c.w)
-	total := int64(c.w-1) * b
-	c.stats.addComm(phase, OpBroadcast, total, c.simTime(steps, float64(steps)*float64(b)))
+// ShardedGatherMerged is the merged-contribution form of
+// ShardedGatherSumInto (see AllReduceMerged).
+func (c *Cluster) ShardedGatherMerged(phase string, shards int, bounds []int, bufs ...[]float64) {
+	if shards <= 0 || shards > c.w {
+		panic(fmt.Sprintf("cluster: shard count %d for %d workers", shards, c.w))
+	}
+	c.ChargeShardedGather(phase, mergedBytes(bufs), shards)
+	if c.tr != nil {
+		for _, buf := range bufs {
+			b := bounds
+			if b == nil {
+				b = EvenBounds(len(buf), shards)
+			}
+			buf := buf
+			c.transportOp(phase, func() error { return c.tr.ReduceScatter(phase, buf, b) })
+		}
+	}
 }
 
-// AllGatherSmall charges an all-gather where every worker contributes b
-// bytes and receives everyone else's contribution (exchanging local best
-// splits in vertical partitioning, Section 2.2.1).
-func (c *Cluster) AllGatherSmall(phase string, b int64) {
+// mergedBytes is the combined byte size of a merged collective's buffers.
+func mergedBytes(bufs [][]float64) int64 {
+	var n int64
+	for _, b := range bufs {
+		n += int64(len(b)) * float64Size
+	}
+	return n
+}
+
+// AllGatherFixed exchanges one fixed-size opaque record per worker:
+// recs[w] is worker w's serialized contribution (the per-worker best
+// splits of Section 2.2.1). All entries must be non-nil with one shared
+// length. On the simulation the records are already in place and only the
+// all-gather cost is charged; on a distributed cluster every non-hosted
+// entry is overwritten with that rank's record.
+func (c *Cluster) AllGatherFixed(phase string, recs [][]byte) {
+	if len(recs) != c.w {
+		panic(fmt.Sprintf("cluster: %d records for %d workers", len(recs), c.w))
+	}
+	b := len(recs[0])
+	for w, r := range recs {
+		if r == nil || len(r) != b {
+			panic(fmt.Sprintf("cluster: record %d has %d bytes, record 0 has %d", w, len(r), b))
+		}
+	}
+	c.chargeAllGather(phase, int64(b))
+	if c.tr != nil {
+		c.transportOp(phase, func() error { return c.tr.AllGather(phase, recs) })
+	}
+}
+
+// chargeAllGather records the all-gather cost without moving data.
+func (c *Cluster) chargeAllGather(phase string, b int64) {
 	total := int64(c.w) * int64(c.w-1) * b
 	c.stats.addComm(phase, OpAllGather, total, c.simTime(ceilLog2(c.w), float64(c.w-1)*float64(b)))
 }
 
+// Broadcast charges a binomial-tree broadcast of b payload bytes from one
+// root to the other W-1 workers (e.g. the instance-placement bitmap of
+// vertical partitioning, Section 3.1.3). The payload itself is replicated
+// state every rank derives locally, so on a distributed cluster the
+// charge is realized as shadow traffic of exactly the charged volume
+// (rank 0 to every peer), keeping measured equal to accounted.
+func (c *Cluster) Broadcast(phase string, b int64) {
+	steps := ceilLog2(c.w)
+	total := int64(c.w-1) * b
+	c.stats.addComm(phase, OpBroadcast, total, c.simTime(steps, float64(steps)*float64(b)))
+	c.shadow(phase, func(send [][]int64) {
+		for j := 1; j < c.w; j++ {
+			send[0][j] = b
+		}
+	})
+}
+
+// AllGatherSmall charges an all-gather where every worker contributes b
+// bytes and receives everyone else's contribution (exchanging local best
+// splits in vertical partitioning, Section 2.2.1). Shadow traffic on a
+// distributed cluster; AllGatherFixed is the data-carrying form.
+func (c *Cluster) AllGatherSmall(phase string, b int64) {
+	c.chargeAllGather(phase, b)
+	c.shadow(phase, func(send [][]int64) {
+		for i := 0; i < c.w; i++ {
+			for j := 0; j < c.w; j++ {
+				if i != j {
+					send[i][j] = b
+				}
+			}
+		}
+	})
+}
+
 // PointToPoint charges a single b-byte message between two workers (or
-// worker and master).
+// worker and master). Shadow traffic (rank 0 to rank 1) on a distributed
+// cluster.
 func (c *Cluster) PointToPoint(phase string, b int64) {
 	c.stats.addComm(phase, OpPointToPoint, b, c.simTime(1, float64(b)))
+	c.shadow(phase, func(send [][]int64) {
+		send[0][1] = b
+	})
 }
 
 // Shuffle charges an all-to-all repartition where sendBytes[i][j] bytes
 // move from worker i to worker j (step 4 of the horizontal-to-vertical
 // transformation). Simulated time is bounded by the busiest worker's
-// send plus receive volume.
+// send plus receive volume. On a distributed cluster the exact matrix is
+// realized as shadow traffic (the repartitioned data is replicated state
+// every rank derives locally).
 func (c *Cluster) Shuffle(phase string, sendBytes [][]int64) {
 	if len(sendBytes) != c.w {
 		panic(fmt.Sprintf("cluster: shuffle matrix has %d rows for %d workers", len(sendBytes), c.w))
@@ -186,29 +334,92 @@ func (c *Cluster) Shuffle(phase string, sendBytes [][]int64) {
 		}
 	}
 	c.stats.addComm(phase, OpShuffle, total, c.simTime(c.w-1, busiest))
+	c.shadow(phase, func(send [][]int64) {
+		for i := 0; i < c.w; i++ {
+			for j := 0; j < c.w; j++ {
+				if i != j {
+					send[i][j] = sendBytes[i][j]
+				}
+			}
+		}
+	})
 }
 
 // ChargeComm records a raw communication volume with an explicit simulated
-// duration; used by components that model costs themselves.
+// duration; used by components that model costs themselves. The volume is
+// realized as shadow traffic spread evenly over all ordered worker pairs
+// (remainder bytes to the lexicographically first pairs) on a distributed
+// cluster. Callers must therefore invoke it with identical arguments at
+// every rank — true for all in-tree callers, whose volumes derive from
+// replicated state.
 func (c *Cluster) ChargeComm(phase string, kind OpKind, bytes int64, seconds float64) {
 	c.stats.addComm(phase, kind, bytes, seconds)
+	c.shadow(phase, func(send [][]int64) {
+		pairs := int64(c.w) * int64(c.w-1)
+		base, rem := bytes/pairs, bytes%pairs
+		for i := 0; i < c.w; i++ {
+			for j := 0; j < c.w; j++ {
+				if i == j {
+					continue
+				}
+				send[i][j] = base
+				if rem > 0 {
+					send[i][j]++
+					rem--
+				}
+			}
+		}
+	})
 }
 
-// sumAligned element-wise sums arrays that must all share one length.
-func sumAligned(locals [][]float64) []float64 {
-	sum := make([]float64, len(locals[0]))
-	sumAlignedInto(locals, sum)
-	return sum
+// shadow realizes a charge-only collective as real wire traffic: fill
+// populates the send matrix (send[i][j] = bytes from rank i to rank j),
+// which must come out identical at every rank. No-op on the simulation
+// and on single-worker deployments.
+func (c *Cluster) shadow(phase string, fill func(send [][]int64)) {
+	if c.tr == nil || c.w == 1 {
+		return
+	}
+	send := make([][]int64, c.w)
+	for i := range send {
+		send[i] = make([]int64, c.w)
+	}
+	fill(send)
+	c.transportOp(phase, func() error { return c.tr.Shadow(phase, send) })
 }
 
-// sumAlignedInto element-wise sums the arrays into dst, overwriting it.
-// All arrays and dst must share one length, and the reduction adds workers
-// in index order — the deterministic order every collective exposes. dst
-// must not alias any local: it is cleared before the sum, so an aliased
-// worker's contribution would silently vanish.
-func sumAlignedInto(locals [][]float64, dst []float64) {
+// localLen returns the shared length of the hosted locals.
+func (c *Cluster) localLen(locals [][]float64) int {
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
+	for _, l := range locals {
+		if l != nil {
+			return len(l)
+		}
+	}
+	panic("cluster: no hosted locals")
+}
+
+// sumLocalInto element-wise sums the hosted workers' arrays into dst,
+// overwriting it. Exactly the hosted workers' entries must be non-nil
+// (all of them on the simulation), all sharing dst's length, and dst must
+// not alias any local: it is cleared before the sum, so an aliased
+// worker's contribution would silently vanish. The reduction adds workers
+// in index order — the deterministic order every collective exposes, and
+// the order a transport must reproduce on the wire.
+func (c *Cluster) sumLocalInto(locals [][]float64, dst []float64) {
+	if len(locals) != c.w {
+		panic(fmt.Sprintf("cluster: %d locals for %d workers", len(locals), c.w))
+	}
 	n := len(dst)
 	for w, l := range locals {
+		if hosted := c.HostsWorker(w); hosted != (l != nil) {
+			panic(fmt.Sprintf("cluster: worker %d hosted=%v but local present=%v", w, hosted, l != nil))
+		}
+		if l == nil {
+			continue
+		}
 		if len(l) != n {
 			panic(fmt.Sprintf("cluster: worker %d array has %d entries, dst has %d", w, len(l), n))
 		}
@@ -230,11 +441,4 @@ func ceilLog2(x int) int {
 		n++
 	}
 	return n
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

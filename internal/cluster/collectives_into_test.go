@@ -22,10 +22,10 @@ func TestSumIntoMatchesAllocatingCollectives(t *testing.T) {
 			func(c *Cluster, dst []float64) { c.AllReduceSumInto("p", locals, dst) }},
 		{"reduce-scatter",
 			func(c *Cluster) []float64 { s, _ := c.ReduceScatterSum("p", locals); return s },
-			func(c *Cluster, dst []float64) { c.ReduceScatterSumInto("p", locals, dst) }},
+			func(c *Cluster, dst []float64) { c.ReduceScatterSumInto("p", locals, dst, nil) }},
 		{"sharded-gather",
 			func(c *Cluster) []float64 { return c.ShardedGatherSum("p", locals, 3) },
-			func(c *Cluster, dst []float64) { c.ShardedGatherSumInto("p", locals, dst, 3) }},
+			func(c *Cluster, dst []float64) { c.ShardedGatherSumInto("p", locals, dst, 3, nil) }},
 	}
 	for _, v := range variants {
 		ca := New(3, Gigabit())

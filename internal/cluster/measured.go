@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Wire form of one rank's measured-stats snapshot, exchanged by
+// SyncMeasured: a u32 entry count, then per phase a u32 CRC-32C of the
+// phase name, a u64 payload-byte count and a f64 wall-clock. Phase sets
+// are identical across ranks (every rank replays the same collective
+// sequence), so the name hashes double as an alignment check: a mismatch
+// means the ranks diverged, which is worth a hard error rather than a
+// silently misattributed table.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func encodeMeasured(names []string, bytes []int64, secs []float64) []byte {
+	buf := make([]byte, 4+20*len(names))
+	binary.LittleEndian.PutUint32(buf, uint32(len(names)))
+	off := 4
+	for i, name := range names {
+		binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum([]byte(name), crcTable))
+		binary.LittleEndian.PutUint64(buf[off+4:], uint64(bytes[i]))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(secs[i]))
+		off += 20
+	}
+	return buf
+}
+
+func decodeMeasured(rec []byte, names []string) ([]int64, []float64, error) {
+	if len(rec) < 4 {
+		return nil, nil, fmt.Errorf("record truncated (%d bytes)", len(rec))
+	}
+	n := int(binary.LittleEndian.Uint32(rec))
+	if n != len(names) {
+		return nil, nil, fmt.Errorf("has %d phases, this rank has %d", n, len(names))
+	}
+	if len(rec) != 4+20*n {
+		return nil, nil, fmt.Errorf("record is %d bytes, want %d", len(rec), 4+20*n)
+	}
+	bytes := make([]int64, n)
+	secs := make([]float64, n)
+	off := 4
+	for i, name := range names {
+		if got, want := binary.LittleEndian.Uint32(rec[off:]), crc32.Checksum([]byte(name), crcTable); got != want {
+			return nil, nil, fmt.Errorf("phase %d is not %q: the ranks ran different collective sequences", i, name)
+		}
+		bytes[i] = int64(binary.LittleEndian.Uint64(rec[off+4:]))
+		secs[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off+12:]))
+		off += 20
+	}
+	return bytes, secs, nil
+}

@@ -124,11 +124,12 @@ func readFloats(r io.Reader, xs []float64) error {
 	return nil
 }
 
-// CountingConn wraps a net.Conn and counts written bytes.
+// CountingConn wraps a net.Conn and counts bytes in both directions.
 type CountingConn struct {
 	net.Conn
 	mu      sync.Mutex
 	written int64
+	read    int64
 }
 
 // Write implements net.Conn.
@@ -140,9 +141,25 @@ func (c *CountingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Read implements net.Conn.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
 // Written returns the total bytes written through the connection.
 func (c *CountingConn) Written() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.written
+}
+
+// ReadBytes returns the total bytes read through the connection.
+func (c *CountingConn) ReadBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.read
 }

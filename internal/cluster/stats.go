@@ -54,6 +54,17 @@ type PhaseStats struct {
 	CommSeconds float64
 	// Bytes is the total communication volume by collective kind.
 	Bytes [numOpKinds]int64
+	// MeasuredBytes is the collective payload volume actually sent over a
+	// real transport (zero on the simulated backend). Before
+	// Cluster.SyncMeasured it counts this rank's sends; after, the
+	// deployment-global total — directly comparable to TotalBytes, the
+	// model's accounted volume.
+	MeasuredBytes int64
+	// MeasuredSeconds is wall-clock spent inside transport operations
+	// (zero on the simulated backend): this rank's before SyncMeasured,
+	// the slowest rank's after. The real-network counterpart of
+	// CommSeconds' alpha-beta prediction.
+	MeasuredSeconds float64
 }
 
 // TotalBytes sums the volume over all collective kinds.
@@ -156,6 +167,42 @@ func (s *Stats) addComm(phase string, kind OpKind, bytes int64, seconds float64)
 	p.CommSeconds += seconds
 }
 
+func (s *Stats) addMeasured(phase string, bytes int64, seconds float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.phase(phase)
+	p.MeasuredBytes += bytes
+	p.MeasuredSeconds += seconds
+}
+
+// measuredSnapshot returns every phase's measured record in sorted name
+// order — the canonical form SyncMeasured exchanges across ranks.
+func (s *Stats) measuredSnapshot() (names []string, bytes []int64, secs []float64) {
+	names = s.PhaseNames()
+	bytes = make([]int64, len(names))
+	secs = make([]float64, len(names))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, n := range names {
+		p := s.phases[n]
+		bytes[i] = p.MeasuredBytes
+		secs[i] = p.MeasuredSeconds
+	}
+	return names, bytes, secs
+}
+
+// setMeasured overwrites the named phases' measured records with synced
+// deployment-global values.
+func (s *Stats) setMeasured(names []string, bytes []int64, secs []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, n := range names {
+		p := s.phase(n)
+		p.MeasuredBytes = bytes[i]
+		p.MeasuredSeconds = secs[i]
+	}
+}
+
 // Mem returns the named memory gauge, creating it on first use.
 func (s *Stats) Mem(name string) *MemGauge {
 	s.mu.Lock()
@@ -202,6 +249,18 @@ func (s *Stats) Totals() (compSec, commSec float64, bytes int64) {
 		bytes += p.TotalBytes()
 	}
 	return compSec, commSec, bytes
+}
+
+// MeasuredTotals returns the summed measured communication wall-clock and
+// payload bytes across all phases (zero on the simulated backend).
+func (s *Stats) MeasuredTotals() (commSec float64, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.phases {
+		commSec += p.MeasuredSeconds
+		bytes += p.MeasuredBytes
+	}
+	return commSec, bytes
 }
 
 // WorkerComp returns each worker's cumulative measured busy time.

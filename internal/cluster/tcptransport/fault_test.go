@@ -1,0 +1,298 @@
+package tcptransport_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vero/internal/cluster/tcptransport"
+	"vero/internal/failpoint"
+)
+
+// connectMesh establishes a live loopback mesh with pre-bound listeners
+// and returns the rank-ordered transports.
+func connectMesh(t *testing.T, w int, tweak func(r int, cfg *tcptransport.Config)) []*tcptransport.Transport {
+	t.Helper()
+	listeners := make([]net.Listener, w)
+	peers := make([]string, w)
+	for r := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("binding listener %d: %v", r, err)
+		}
+		listeners[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	trs := make([]*tcptransport.Transport, w)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for r := 0; r < w; r++ {
+		go func(r int) {
+			defer wg.Done()
+			cfg := tcptransport.Config{
+				Rank:        r,
+				Peers:       peers,
+				Listener:    listeners[r],
+				DialTimeout: 10 * time.Second,
+				OpTimeout:   10 * time.Second,
+			}
+			if tweak != nil {
+				tweak(r, &cfg)
+			}
+			trs[r], errs[r] = tcptransport.Connect(cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("connecting rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	return trs
+}
+
+// runBounded fails the test if fn does not return within the deadline —
+// the no-hang property every fault script asserts.
+func runBounded(t *testing.T, what string, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("%s did not return within %v", what, d)
+	}
+}
+
+// TestDialFailpointFailsConnect arms a persistent dial fault: Connect must
+// exhaust its retry budget and return a rank-attributed error wrapping
+// the injected failure, not hang.
+func TestDialFailpointFailsConnect(t *testing.T) {
+	if err := failpoint.Enable(tcptransport.FailpointDial, "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Reset()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	peers := []string{ln.Addr().String(), "127.0.0.1:1"} // rank 1's own address is never dialed
+
+	runBounded(t, "Connect with dial fault", 15*time.Second, func() {
+		lnSelf, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			t.Error(lerr)
+			return
+		}
+		_, err = tcptransport.Connect(tcptransport.Config{
+			Rank:        1,
+			Peers:       peers,
+			Listener:    lnSelf,
+			DialTimeout: 500 * time.Millisecond,
+		})
+	})
+	if err == nil {
+		t.Fatal("Connect succeeded despite a persistent dial fault")
+	}
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("error does not wrap the injected failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "dialing rank 0") {
+		t.Fatalf("error lacks rank attribution: %v", err)
+	}
+}
+
+// TestDialRetryRecoversLateStart starts rank 1 before rank 0 is even
+// listening: the dialer's backoff loop must absorb the refused
+// connections until rank 0 appears, and the mesh must then work.
+func TestDialRetryRecoversLateStart(t *testing.T) {
+	// Reserve an address for rank 0, then free it so rank 1's first dials
+	// are refused.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr0 := probe.Addr().String()
+	probe.Close()
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []string{addr0, ln1.Addr().String()}
+
+	var tr1 *tcptransport.Transport
+	var err1 error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr1, err1 = tcptransport.Connect(tcptransport.Config{
+			Rank: 1, Peers: peers, Listener: ln1,
+			DialTimeout: 10 * time.Second, OpTimeout: 5 * time.Second,
+		})
+	}()
+
+	time.Sleep(300 * time.Millisecond) // let rank 1 burn a few refused dials
+	ln0, err := net.Listen("tcp", addr0)
+	if err != nil {
+		t.Fatalf("rebinding rank 0's reserved address: %v", err)
+	}
+	tr0, err := tcptransport.Connect(tcptransport.Config{
+		Rank: 0, Peers: peers, Listener: ln0,
+		DialTimeout: 10 * time.Second, OpTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("late-started rank 0: %v", err)
+	}
+	defer tr0.Close()
+	<-done
+	if err1 != nil {
+		t.Fatalf("rank 1: %v", err1)
+	}
+	defer tr1.Close()
+
+	// The recovered mesh must actually reduce.
+	bufs := [][]float64{{1, 2, 3}, {10, 20, 30}}
+	runBounded(t, "all-reduce on recovered mesh", 10*time.Second, func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for r, tr := range []*tcptransport.Transport{tr0, tr1} {
+			go func(r int, tr *tcptransport.Transport) {
+				defer wg.Done()
+				if err := tr.AllReduce("fault.recover", bufs[r]); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+				}
+			}(r, tr)
+		}
+		wg.Wait()
+	})
+	for r, buf := range bufs {
+		for i, want := range []float64{11, 22, 33} {
+			if buf[i] != want {
+				t.Fatalf("rank %d: element %d = %v, want %v", r, i, buf[i], want)
+			}
+		}
+	}
+}
+
+// TestPeerDropMidCollective kills rank 2 of a 3-rank mesh while the
+// others reduce: the survivors must fail fast with a rank-attributed
+// sticky error — no hang — and every later operation must fail
+// immediately with the same cause.
+func TestPeerDropMidCollective(t *testing.T) {
+	trs := connectMesh(t, 3, nil)
+	trs[2].Close() // the "crashed" peer
+
+	buf := make([]float64, 4096)
+	runBounded(t, "all-reduce with a dead peer", 20*time.Second, func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for r := 0; r < 2; r++ {
+			go func(r int) {
+				defer wg.Done()
+				if err := trs[r].AllReduce("fault.drop", buf); err == nil {
+					t.Errorf("rank %d: all-reduce succeeded with rank 2 dead", r)
+				}
+			}(r)
+		}
+		wg.Wait()
+	})
+	for r := 0; r < 2; r++ {
+		err := trs[r].Err()
+		if err == nil {
+			t.Fatalf("rank %d: no sticky error after peer drop", r)
+		}
+		if !strings.Contains(err.Error(), "rank 2") {
+			t.Fatalf("rank %d: error does not attribute the dead peer: %v", r, err)
+		}
+		// Sticky fast-fail: later operations return the latched error
+		// without touching the (torn down) mesh.
+		start := time.Now()
+		if err2 := trs[r].AllReduce("fault.after", buf); err2 == nil {
+			t.Fatalf("rank %d: post-failure all-reduce succeeded", r)
+		} else if err2 != err || time.Since(start) > time.Second {
+			t.Fatalf("rank %d: post-failure op took %v and returned %v, want the latched %v", r, time.Since(start), err2, err)
+		}
+	}
+}
+
+// TestReadWriteFailpointsAbort arms each in-collective failpoint on a live
+// 2-rank mesh: the collective must return a wrapped, rank-attributed
+// error on every rank, fast, and the error must stick.
+func TestReadWriteFailpointsAbort(t *testing.T) {
+	for _, fp := range []string{tcptransport.FailpointRead, tcptransport.FailpointWrite} {
+		t.Run(fp, func(t *testing.T) {
+			trs := connectMesh(t, 2, nil)
+			if err := failpoint.Enable(fp, "error"); err != nil {
+				t.Fatal(err)
+			}
+			defer failpoint.Reset()
+
+			errs := make([]error, 2)
+			runBounded(t, "all-reduce with "+fp, 20*time.Second, func() {
+				var wg sync.WaitGroup
+				wg.Add(2)
+				for r := range trs {
+					go func(r int) {
+						defer wg.Done()
+						errs[r] = trs[r].AllReduce("fault.inject", []float64{1, 2, 3, 4})
+					}(r)
+				}
+				wg.Wait()
+			})
+			injected := false
+			for r, err := range errs {
+				if err == nil {
+					t.Fatalf("rank %d: collective succeeded despite %s", r, fp)
+				}
+				if !strings.Contains(err.Error(), "tcptransport: rank") {
+					t.Fatalf("rank %d: error lacks rank attribution: %v", r, err)
+				}
+				injected = injected || errors.Is(err, failpoint.ErrInjected)
+				if trs[r].Err() == nil {
+					t.Fatalf("rank %d: error did not stick", r)
+				}
+			}
+			if !injected {
+				t.Fatalf("no rank surfaced the injected failure: %v / %v", errs[0], errs[1])
+			}
+		})
+	}
+}
+
+// TestSilentPeerHitsDeadline reduces against a peer that is alive but
+// never participates: the per-frame deadline must convert the silence
+// into an error instead of blocking forever.
+func TestSilentPeerHitsDeadline(t *testing.T) {
+	trs := connectMesh(t, 2, func(r int, cfg *tcptransport.Config) {
+		cfg.OpTimeout = 300 * time.Millisecond
+	})
+	// Rank 1 never calls AllReduce: rank 0's receive must time out.
+	var err error
+	runBounded(t, "all-reduce against a silent peer", 15*time.Second, func() {
+		err = trs[0].AllReduce("fault.silent", []float64{1, 2})
+	})
+	if err == nil {
+		t.Fatal("all-reduce succeeded against a silent peer")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("error is not a timeout: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("error does not attribute the silent peer: %v", err)
+	}
+}

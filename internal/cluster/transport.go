@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Transport moves collective payloads between the processes of a
+// distributed cluster. The simulated backend needs no transport at all —
+// every worker lives in one process and reductions happen in memory — so
+// a nil transport selects the simulation. A real backend (such as
+// tcptransport) carries each rank's contributions over the network.
+//
+// Every method is called with identical arguments, in identical order, at
+// every rank: the training loop is SPMD and each process replays the same
+// deterministic sequence of collectives. A transport may (and tcptransport
+// does) verify this alignment on the wire and fail fast on divergence.
+//
+// Reduction order contract: any method that sums contributions MUST
+// accumulate them in rank order 0..W-1 starting from zero — the exact
+// order of the simulation's sumAlignedInto — so that models trained over a
+// real transport are bit-identical to simulated runs (floating-point
+// addition does not associate).
+type Transport interface {
+	// Workers returns the deployment size W.
+	Workers() int
+	// Rank returns this process's rank in [0, W).
+	Rank() int
+
+	// AllReduce completes a global element-wise sum: buf holds this rank's
+	// contribution on entry and the rank-ordered global sum on return, at
+	// every rank.
+	AllReduce(phase string, buf []float64) error
+	// ReduceScatter is AllReduce minus the final all-gather: segment s of
+	// bounds (bounds[s] to bounds[s+1], owned by rank s) is globally
+	// reduced at its owner only; everything else keeps the local
+	// contribution. len(bounds)-1 may be less than W, leaving high ranks
+	// owning nothing. bounds must be identical at every rank.
+	ReduceScatter(phase string, buf []float64, bounds []int) error
+	// Gather reduces buf at the root rank only; other ranks keep their
+	// local contribution.
+	Gather(phase string, buf []float64, root int) error
+	// AllGather exchanges fixed-size opaque records: recs[Rank()] is this
+	// rank's contribution, and every other entry is overwritten with the
+	// corresponding rank's record. All entries must share one length.
+	AllGather(phase string, recs [][]byte) error
+	// Shadow moves synthetic traffic shaped like a charged collective:
+	// send[i][j] payload bytes from rank i to rank j (diagonal ignored).
+	// It exists so that charge-only collectives of the simulation
+	// (Broadcast, Shuffle, ChargeComm...) put real, measurable bytes on
+	// the wire in exactly the volume the alpha-beta model accounts.
+	Shadow(phase string, send [][]int64) error
+
+	// PayloadBytesSent returns the cumulative collective payload bytes
+	// this rank has sent (excluding framing overhead); the cluster diffs
+	// it around each operation to attribute measured bytes to phases.
+	PayloadBytesSent() int64
+	// WireBytes returns the raw bytes written to the network including
+	// framing — what a packet counter on the NIC would see.
+	WireBytes() int64
+
+	// Err returns the transport's sticky error: the first failure any
+	// operation hit. Once set, every subsequent operation fails fast.
+	Err() error
+	// Close releases connections; pending operations fail.
+	Close() error
+}
+
+// WithTransport attaches a real transport to the cluster: collectives move
+// payloads through it (in simulation-identical reduction order) while
+// still charging the alpha-beta model, and Stats additionally records
+// measured bytes and wall-clock per phase. The cluster then represents
+// one rank of a W-process deployment; see ParallelLocal, Lead and
+// HostsWorker for the work-placement seams.
+func WithTransport(tr Transport) Option {
+	return func(c *Cluster) {
+		if tr.Workers() != c.w {
+			panic(fmt.Sprintf("cluster: transport has %d workers, cluster has %d", tr.Workers(), c.w))
+		}
+		c.tr = tr
+	}
+}
+
+// Distributed reports whether a real transport is attached.
+func (c *Cluster) Distributed() bool { return c.tr != nil }
+
+// Rank returns this process's rank: 0 on the simulated backend, which
+// hosts every worker in-process.
+func (c *Cluster) Rank() int {
+	if c.tr == nil {
+		return 0
+	}
+	return c.tr.Rank()
+}
+
+// HostsWorker reports whether logical worker w runs in this process. The
+// simulation hosts all workers; a distributed cluster hosts exactly its
+// rank (one logical worker per process — partial sums over several local
+// workers would change the floating-point reduction order).
+func (c *Cluster) HostsWorker(w int) bool {
+	if c.tr == nil {
+		return true
+	}
+	return w == c.tr.Rank()
+}
+
+// LocalWorkers returns the logical workers hosted by this process, in
+// ascending order.
+func (c *Cluster) LocalWorkers() []int {
+	if c.tr == nil {
+		ws := make([]int, c.w)
+		for i := range ws {
+			ws[i] = i
+		}
+		return ws
+	}
+	return []int{c.tr.Rank()}
+}
+
+// Lead reports whether worker w is this process's leader for replicated
+// state: code that in the simulation ran once "at worker 0" (because the
+// result is logically replicated) must instead run once per process on a
+// distributed cluster — each process materializes the state locally.
+func (c *Cluster) Lead(w int) bool {
+	if c.tr == nil {
+		return w == 0
+	}
+	return w == c.tr.Rank()
+}
+
+// ParallelLocal runs fn for the workers hosted by this process: all of
+// them (exactly Parallel) on the simulation, only this rank's worker on a
+// distributed cluster. It is the placement seam for sharded work — per-row
+// or per-feature-group loops where each rank computes only its own shard.
+// Loops whose side effects every rank needs (replicated state) must keep
+// using Parallel.
+func (c *Cluster) ParallelLocal(phase string, fn func(worker int)) {
+	if c.tr == nil {
+		c.Parallel(phase, fn)
+		return
+	}
+	r := c.tr.Rank()
+	start := time.Now()
+	fn(r)
+	e := time.Since(start)
+	c.stats.addWorkerComp(r, e)
+	c.stats.addComp(phase, e.Seconds())
+}
+
+// Err returns the transport's sticky error (nil on the simulation). After
+// a transport failure, collectives degrade to their local contributions
+// without blocking; callers poll Err at a consistency boundary (the
+// trainer does so per tree) and abort with the rank-attributed cause.
+func (c *Cluster) Err() error {
+	if c.tr == nil {
+		return nil
+	}
+	return c.tr.Err()
+}
+
+// Close releases the transport (no-op on the simulation).
+func (c *Cluster) Close() error {
+	if c.tr == nil {
+		return nil
+	}
+	return c.tr.Close()
+}
+
+// WireBytes returns the raw bytes this rank wrote to the network,
+// including frame headers and checksums (zero on the simulation). The
+// per-phase measured bytes count payloads only, so this is the end-to-end
+// framing overhead check.
+func (c *Cluster) WireBytes() int64 {
+	if c.tr == nil {
+		return 0
+	}
+	return c.tr.WireBytes()
+}
+
+// transportOp runs one wire operation, attributing its payload bytes and
+// wall-clock to the phase's measured record. Transport failures latch into
+// the transport's sticky error (surfaced by Err); the collective then
+// falls back to its local contribution so the caller can reach a
+// consistency boundary without blocking.
+func (c *Cluster) transportOp(phase string, fn func() error) {
+	before := c.tr.PayloadBytesSent()
+	start := time.Now()
+	err := fn()
+	c.stats.addMeasured(phase, c.tr.PayloadBytesSent()-before, time.Since(start).Seconds())
+	_ = err // sticky in the transport; surfaced via Err()
+}
+
+// SyncMeasured merges the per-rank measured communication records across
+// the deployment: measured bytes count what each rank sent, so the
+// per-phase global volume is their sum, and measured wall-clock is the
+// slowest rank's (the makespan). After SyncMeasured, every rank's Stats
+// reports deployment-global measured numbers directly comparable to the
+// (already global) accounted bytes — the measured-vs-predicted table.
+// No-op on the simulation.
+func (c *Cluster) SyncMeasured() error {
+	if c.tr == nil {
+		return nil
+	}
+	names, bytes, secs := c.stats.measuredSnapshot()
+	rec := encodeMeasured(names, bytes, secs)
+	recs := make([][]byte, c.w)
+	for i := range recs {
+		recs[i] = make([]byte, len(rec))
+	}
+	copy(recs[c.tr.Rank()], rec)
+	// The sync itself is bookkeeping, not part of any training phase: call
+	// the transport directly so its bytes land in no phase record.
+	if err := c.tr.AllGather("cluster.syncstats", recs); err != nil {
+		return fmt.Errorf("cluster: syncing measured stats: %w", err)
+	}
+	totalBytes := make([]int64, len(names))
+	maxSecs := make([]float64, len(names))
+	for r := 0; r < c.w; r++ {
+		rb, rs, err := decodeMeasured(recs[r], names)
+		if err != nil {
+			return fmt.Errorf("cluster: measured stats from rank %d: %w", r, err)
+		}
+		for i := range names {
+			totalBytes[i] += rb[i]
+			if rs[i] > maxSecs[i] {
+				maxSecs[i] = rs[i]
+			}
+		}
+	}
+	c.stats.setMeasured(names, totalBytes, maxSecs)
+	return nil
+}

@@ -1,0 +1,16 @@
+package transporttest
+
+import "testing"
+
+// TestConformanceSim pins the simulated backend to the conformance
+// contract — it is the reference the TCP backend must be bit-identical to.
+func TestConformanceSim(t *testing.T) {
+	Run(t, Sim())
+}
+
+// TestConformanceTCP runs the identical contract over a live loopback
+// mesh: same values bit for bit, same accounted charges, and measured
+// payload bytes equal to accounted bytes in every phase.
+func TestConformanceTCP(t *testing.T) {
+	Run(t, TCP())
+}

@@ -298,6 +298,19 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 			return nil, err
 		}
 	}
+	if cl.Distributed() {
+		// The distributed transport's first version covers in-memory SPMD
+		// training only: every rank loads the dataset and replays the same
+		// collective sequence. Out-of-core streaming and checkpoint
+		// resumption interleave their own per-rank I/O with the schedule
+		// and are not yet wired through the transport.
+		if ds.OutOfCore() {
+			return nil, fmt.Errorf("core: out-of-core training is not supported on a distributed cluster")
+		}
+		if cfg.checkpointPath() != "" {
+			return nil, fmt.Errorf("core: checkpointing is not supported on a distributed cluster")
+		}
+	}
 	t := newTrainer(cl, ds, cfg, obj)
 	if t.n == 0 {
 		return nil, fmt.Errorf("core: empty dataset")

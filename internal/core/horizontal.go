@@ -57,7 +57,7 @@ func (e *horizontalEngine) prepare() error {
 	if t.cfg.Quadrant == QD2 {
 		e.rows = make([]*sparse.BinnedCSR, t.w)
 		e.n2i = make([]*index.NodeToInstance, t.w)
-		t.cl.Parallel("prep.bin", func(w int) {
+		t.cl.ParallelLocal("prep.bin", func(w int) {
 			shard := t.ds.X.SliceRows(t.ranges[w][0], t.ranges[w][1])
 			binned, err := t.binner.BinCSR(shard)
 			if err != nil {
@@ -74,7 +74,7 @@ func (e *horizontalEngine) prepare() error {
 	// QD1: column views of the row shards, instance-to-node index.
 	e.cols = make([]*sparse.BinnedCSC, t.w)
 	e.i2n = make([]*index.InstanceToNode, t.w)
-	t.cl.Parallel("prep.bin", func(w int) {
+	t.cl.ParallelLocal("prep.bin", func(w int) {
 		shard := t.ds.X.SliceRows(t.ranges[w][0], t.ranges[w][1])
 		binned, err := t.binner.BinCSR(shard)
 		if err != nil {
@@ -99,24 +99,11 @@ func (e *horizontalEngine) usesSubtraction() bool { return e.t.cfg.Quadrant != Q
 // transformReport implements engine: no repartitioning happens.
 func (e *horizontalEngine) transformReport() partition.ByteReport { return partition.ByteReport{} }
 
-// chargeAggregation records the histogram-aggregation cost of one node's
-// histograms (payload bytes) under the configured collective.
-func (e *horizontalEngine) chargeAggregation(payload int64) {
-	switch e.t.cfg.Aggregation {
-	case AggReduceScatter:
-		e.t.cl.ChargeReduceScatter(phaseHist, payload)
-	case AggParameterServer:
-		e.t.cl.ChargeShardedGather(phaseHist, payload, e.t.w)
-	default:
-		e.t.cl.ChargeAllReduce(phaseHist, payload)
-	}
-}
-
 // computeGradients has each worker process its own row range.
 func (e *horizontalEngine) computeGradients() {
 	t := e.t
 	labels := t.ds.Labels
-	t.cl.Parallel(phaseGrad, func(w int) {
+	t.cl.ParallelLocal(phaseGrad, func(w int) {
 		lo, hi := t.ranges[w][0], t.ranges[w][1]
 		for i := lo; i < hi; i++ {
 			t.obj.GradHess(t.preds[i*t.c:(i+1)*t.c], labels[i], t.grads[i*t.c:(i+1)*t.c], t.hessv[i*t.c:(i+1)*t.c])
@@ -125,14 +112,19 @@ func (e *horizontalEngine) computeGradients() {
 }
 
 func (e *horizontalEngine) resetIndexes() {
+	// Non-hosted workers' indexes are nil on a distributed cluster.
 	if e.t.cfg.Quadrant == QD1 {
 		for _, idx := range e.i2n {
-			idx.Reset()
+			if idx != nil {
+				idx.Reset()
+			}
 		}
 		return
 	}
 	for _, idx := range e.n2i {
-		idx.Reset()
+		if idx != nil {
+			idx.Reset()
+		}
 	}
 }
 
@@ -156,9 +148,14 @@ func (e *horizontalEngine) dropHist(id int32) {
 
 // deriveHistograms computes each node's histogram as parent minus built
 // sibling, reusing the parent's storage (the parent entry is consumed).
+// On a distributed cluster every rank derives its own copy; with
+// reduce-scatter aggregation the non-owned regions hold local
+// contributions on both parent and sibling, so their difference is the
+// derived node's local contribution — the invariant every shard reader
+// relies on survives subtraction.
 func (e *horizontalEngine) deriveHistograms(toDerive []*nodeInfo) {
-	e.t.cl.Parallel(phaseHist, func(w int) {
-		if w != 0 {
+	e.t.cl.ParallelLocal(phaseHist, func(w int) {
+		if !e.t.cl.Lead(w) {
 			return // aggregated histograms are logically replicated; derive once
 		}
 		for _, nd := range toDerive {
@@ -190,7 +187,7 @@ func (e *horizontalEngine) flatScratch(w, n int) (g, h []float64) {
 func (e *horizontalEngine) rootTotals() ([]float64, []float64) {
 	t := e.t
 	locals := make([][]float64, t.w)
-	t.cl.Parallel(phaseGrad, func(w int) {
+	t.cl.ParallelLocal(phaseGrad, func(w int) {
 		acc := make([]float64, 2*t.c)
 		lo, hi := t.ranges[w][0], t.ranges[w][1]
 		if t.c == 1 {
@@ -229,7 +226,7 @@ func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
 		// a time (recycled through the arena).
 		for _, nd := range toBuild {
 			locals := make([]*histogram.Hist, t.w)
-			t.cl.Parallel(phaseHist, func(w int) {
+			t.cl.ParallelLocal(phaseHist, func(w int) {
 				h := t.pool.Get(e.layout)
 				shard := e.rows[w]
 				h.RowScan(e.n2i[w].Instances(nd.id), 0, shard.RowPtr, shard.Feat, shard.Bin,
@@ -238,7 +235,9 @@ func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
 			})
 			e.aggregate(nd.id, locals)
 			for _, h := range locals {
-				t.pool.Put(h)
+				if h != nil {
+					t.pool.Put(h)
+				}
 			}
 		}
 		return
@@ -279,7 +278,7 @@ func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
 	if t.stream != nil {
 		e.buildHistogramsStreamedQD1(toBuild, slot, acc, merged)
 	} else {
-		t.cl.Parallel(phaseHist, func(w int) {
+		t.cl.ParallelLocal(phaseHist, func(w int) {
 			stride := e.layout.FloatsPerSide()
 			ag, ah := e.flatScratch(w, stride*len(toBuild))
 			cols := e.cols[w]
@@ -289,7 +288,7 @@ func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
 				insts, bins := cols.Col(j)
 				histogram.ColumnScanRouted(ag, ah, stride, e.layout, j, insts, bins, nodeOf, slot, t.grads, t.hessv, base)
 			}
-			if w > 0 {
+			if w > 0 && t.cl.HostsWorker(w-1) {
 				<-merged[w-1]
 			}
 			for i := range acc {
@@ -301,12 +300,48 @@ func (e *horizontalEngine) buildHistograms(toBuild []*nodeInfo) {
 	}
 	mem := t.cl.Stats().Mem("histogram")
 	for i, nd := range toBuild {
-		e.chargeAggregation(e.layout.SizeBytes())
+		e.aggregateMerged(acc[i])
 		e.agg[nd.id] = acc[i]
 		for w := 0; w < t.w; w++ {
 			mem.Add(w, e.layout.SizeBytes())
 		}
 	}
+}
+
+// aggregateMerged runs the configured aggregation collective over a
+// histogram that already holds the hosted workers' merged contribution
+// (QD1's shared accumulators). On the simulation the accumulator is
+// already the global sum, so this only charges; on a distributed cluster
+// the two sides travel as one charged payload and the accumulator comes
+// back reduced — fully for all-reduce, per owned feature shard for the
+// scatter variants. The transport adds rank contributions in rank order
+// from a zeroed base, the exact order the simulation's merge chain uses,
+// so the sums are bit-identical.
+func (e *horizontalEngine) aggregateMerged(h *histogram.Hist) {
+	t := e.t
+	switch t.cfg.Aggregation {
+	case AggReduceScatter:
+		t.cl.ReduceScatterMerged(phaseHist, e.featureBounds(), h.Grad, h.Hess)
+	case AggParameterServer:
+		t.cl.ShardedGatherMerged(phaseHist, t.w, e.featureBounds(), h.Grad, h.Hess)
+	default: // AggAllReduce
+		t.cl.AllReduceMerged(phaseHist, h.Grad, h.Hess)
+	}
+}
+
+// featureBounds maps findSplits' per-worker feature shards (worker w owns
+// features [w*per, (w+1)*per) for per = ceil(d/W)) onto element bounds of
+// one histogram side, so the scatter collectives deliver exactly the
+// region each worker's split search reads.
+func (e *horizontalEngine) featureBounds() []int {
+	t := e.t
+	per := (t.d + t.w - 1) / t.w
+	stride := e.layout.MaxBins * e.layout.NumClass
+	bounds := make([]int, t.w+1)
+	for v := 1; v <= t.w; v++ {
+		bounds[v] = min(v*per, t.d) * stride
+	}
+	return bounds
 }
 
 // aggregate reduces per-worker histograms of one node into the aggregated
@@ -316,8 +351,10 @@ func (e *horizontalEngine) aggregate(node int32, locals []*histogram.Hist) {
 	gl := make([][]float64, t.w)
 	hl := make([][]float64, t.w)
 	for w, h := range locals {
-		gl[w] = h.Grad
-		hl[w] = h.Hess
+		if h != nil {
+			gl[w] = h.Grad
+			hl[w] = h.Hess
+		}
 	}
 	// Reduce straight into a pooled histogram: every histogram the trainer
 	// releases was drawn from the pool (keeping the free list bounded by
@@ -325,11 +362,11 @@ func (e *horizontalEngine) aggregate(node int32, locals []*histogram.Hist) {
 	agg := t.pool.Get(e.layout)
 	switch t.cfg.Aggregation {
 	case AggReduceScatter:
-		t.cl.ReduceScatterSumInto(phaseHist, gl, agg.Grad)
-		t.cl.ReduceScatterSumInto(phaseHist, hl, agg.Hess)
+		t.cl.ReduceScatterSumInto(phaseHist, gl, agg.Grad, e.featureBounds())
+		t.cl.ReduceScatterSumInto(phaseHist, hl, agg.Hess, e.featureBounds())
 	case AggParameterServer:
-		t.cl.ShardedGatherSumInto(phaseHist, gl, agg.Grad, t.w)
-		t.cl.ShardedGatherSumInto(phaseHist, hl, agg.Hess, t.w)
+		t.cl.ShardedGatherSumInto(phaseHist, gl, agg.Grad, t.w, e.featureBounds())
+		t.cl.ShardedGatherSumInto(phaseHist, hl, agg.Hess, t.w, e.featureBounds())
 	default: // AggAllReduce
 		t.cl.AllReduceSumInto(phaseHist, gl, agg.Grad)
 		t.cl.AllReduceSumInto(phaseHist, hl, agg.Hess)
@@ -350,35 +387,45 @@ func (e *horizontalEngine) findSplits(frontier []*nodeInfo) map[int32]resolvedSp
 	out := make(map[int32]resolvedSplit, len(frontier))
 	switch t.cfg.Aggregation {
 	case AggReduceScatter, AggParameterServer:
-		// Each worker finds the best split over its feature shard; the
-		// global best is chosen from the exchanged local bests.
-		bests := make([]map[int32]histogram.Split, t.w)
+		// Each worker finds the best split over its feature shard and
+		// serializes it; the records travel in an all-gather and every
+		// rank merges the same W records in worker order, so the chosen
+		// split is identical on every backend.
+		recs := make([][]byte, t.w)
 		per := (t.d + t.w - 1) / t.w
-		t.cl.Parallel(phaseSplit, func(w int) {
+		t.cl.ParallelLocal(phaseSplit, func(w int) {
 			lo := min(w*per, t.d)
 			hi := min(lo+per, t.d)
-			m := make(map[int32]histogram.Split, len(frontier))
-			for _, nd := range frontier {
-				m[nd.id] = t.finder.FindBestInRange(e.agg[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal, lo, hi)
+			splits := make([]histogram.Split, len(frontier))
+			for i, nd := range frontier {
+				splits[i] = t.finder.FindBestInRange(e.agg[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal, lo, hi)
 			}
-			bests[w] = m
+			recs[w] = encodeSplits(splits)
 		})
-		for _, nd := range frontier {
+		for w := range recs {
+			if recs[w] == nil {
+				recs[w] = make([]byte, len(frontier)*splitWireBytes)
+			}
+		}
+		t.cl.AllGatherFixed(phaseSplit, recs)
+		for i, nd := range frontier {
 			best := histogram.Split{}
 			for w := 0; w < t.w; w++ {
-				if s := bests[w][nd.id]; histogram.Prefer(s, best) {
+				if s := decodeSplit(recs[w][i*splitWireBytes:]); histogram.Prefer(s, best) {
 					best = s
 				}
 			}
 			out[nd.id] = resolvedSplit{node: nd.id, feature: best.Feature, bin: best.Bin,
 				gain: best.Gain, defaultLeft: best.DefaultLeft, valid: best.Valid}
 		}
-		t.cl.AllGatherSmall(phaseSplit, int64(len(frontier))*splitWireBytes)
 	default: // AggAllReduce: the leader scans all features.
-		t.cl.Parallel(phaseSplit, func(w int) {
-			if w != 0 {
-				return
+		t.cl.ParallelLocal(phaseSplit, func(w int) {
+			if !t.cl.Lead(w) {
+				return // at most one lead per rank writes out
 			}
+			// Every rank's lead recomputes the identical result from the
+			// fully reduced histograms; the broadcast below charges the
+			// split records the leader would send.
 			for _, nd := range frontier {
 				s := t.finder.FindBest(e.agg[nd.id], nd.totalG, nd.totalH, t.numBinsGlobal)
 				out[nd.id] = resolvedSplit{node: nd.id, feature: s.Feature, bin: s.Bin,
@@ -401,7 +448,7 @@ func (e *horizontalEngine) applyLayer(splits map[int32]resolvedSplit, children m
 	}
 	t.cl.Broadcast(phaseNode, int64(len(splits))*splitWireBytes)
 	if t.cfg.Quadrant == QD2 {
-		t.cl.Parallel(phaseNode, func(w int) {
+		t.cl.ParallelLocal(phaseNode, func(w int) {
 			shard := e.rows[w]
 			for parent, ch := range children {
 				sp := splits[parent]
@@ -420,7 +467,7 @@ func (e *horizontalEngine) applyLayer(splits map[int32]resolvedSplit, children m
 	// QD1: instance-to-node updated in one pass; each instance's split
 	// feature value is found by binary search on its column (the
 	// column-store node-splitting cost of Section 3.2.3).
-	t.cl.Parallel(phaseNode, func(w int) {
+	t.cl.ParallelLocal(phaseNode, func(w int) {
 		cols := e.cols[w]
 		i2n := e.i2n[w]
 		i2n.SplitLayer(children, func(inst uint32) bool {
@@ -446,7 +493,7 @@ func (e *horizontalEngine) childStats(nodes []*nodeInfo) {
 	}
 	locals := make([][]float64, t.w)
 	if t.cfg.Quadrant == QD2 {
-		t.cl.Parallel(phaseNode, func(w int) {
+		t.cl.ParallelLocal(phaseNode, func(w int) {
 			acc := make([]float64, stride*len(nodes))
 			base := t.ranges[w][0]
 			for _, nd := range nodes {
@@ -475,7 +522,7 @@ func (e *horizontalEngine) childStats(nodes []*nodeInfo) {
 			locals[w] = acc
 		})
 	} else {
-		t.cl.Parallel(phaseNode, func(w int) {
+		t.cl.ParallelLocal(phaseNode, func(w int) {
 			acc := make([]float64, stride*len(nodes))
 			i2n := e.i2n[w]
 			base := t.ranges[w][0]
@@ -526,7 +573,7 @@ func (e *horizontalEngine) updatePredictions(tr *tree.Tree) {
 	t.cl.Broadcast(phaseUpdate, int64(tr.NumLeaves()*t.c)*8)
 	eta := t.cfg.LearningRate
 	if t.cfg.Quadrant == QD2 {
-		t.cl.Parallel(phaseUpdate, func(w int) {
+		t.cl.ParallelLocal(phaseUpdate, func(w int) {
 			base := t.ranges[w][0]
 			for id := range tr.Nodes {
 				n := &tr.Nodes[id]
@@ -543,7 +590,7 @@ func (e *horizontalEngine) updatePredictions(tr *tree.Tree) {
 		})
 		return
 	}
-	t.cl.Parallel(phaseUpdate, func(w int) {
+	t.cl.ParallelLocal(phaseUpdate, func(w int) {
 		i2n := e.i2n[w]
 		base := t.ranges[w][0]
 		for inst := 0; inst < i2n.Len(); inst++ {

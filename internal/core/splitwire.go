@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"vero/internal/histogram"
+)
+
+// Wire codec for best-split records: the per-worker split candidates that
+// the engines exchange after local split finding. Each record is exactly
+// splitWireBytes so a frontier of f nodes always serializes to
+// f*splitWireBytes bytes — the size the collectives have always charged.
+// The layout is fixed little-endian: feature id and bin as int32, the
+// gain's IEEE-754 bits verbatim (so merging decoded splits is bit-exact),
+// one flag byte (bit 0 valid, bit 1 default-left) and 7 zero pad bytes.
+
+const (
+	splitFlagValid       = 1 << 0
+	splitFlagDefaultLeft = 1 << 1
+)
+
+// encodeSplits serializes one split per frontier node into a fresh buffer
+// of len(splits)*splitWireBytes bytes.
+func encodeSplits(splits []histogram.Split) []byte {
+	buf := make([]byte, len(splits)*splitWireBytes)
+	for i, s := range splits {
+		encodeSplit(buf[i*splitWireBytes:], s)
+	}
+	return buf
+}
+
+// encodeSplit writes one record into b[:splitWireBytes].
+func encodeSplit(b []byte, s histogram.Split) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(int32(s.Feature)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(int32(s.Bin)))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(s.Gain))
+	var flags byte
+	if s.Valid {
+		flags |= splitFlagValid
+	}
+	if s.DefaultLeft {
+		flags |= splitFlagDefaultLeft
+	}
+	b[16] = flags
+	clear(b[17:splitWireBytes])
+}
+
+// decodeSplit reads one record from b[:splitWireBytes].
+func decodeSplit(b []byte) histogram.Split {
+	flags := b[16]
+	return histogram.Split{
+		Feature:     int(int32(binary.LittleEndian.Uint32(b[0:]))),
+		Bin:         int(int32(binary.LittleEndian.Uint32(b[4:]))),
+		Gain:        math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		Valid:       flags&splitFlagValid != 0,
+		DefaultLeft: flags&splitFlagDefaultLeft != 0,
+	}
+}

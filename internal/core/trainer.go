@@ -147,6 +147,13 @@ func (t *trainer) run(ck *checkpoint) (*Result, error) {
 				return nil, fmt.Errorf("core: out-of-core training aborted during round %d: %w", ti+1, err)
 			}
 		}
+		// A transport failure is likewise sticky (the collectives record
+		// it and return without reducing): abort at the tree boundary
+		// rather than appending a tree whose histograms never left the
+		// local rank.
+		if err := t.cl.Err(); err != nil {
+			return nil, fmt.Errorf("core: distributed training aborted during round %d: %w", ti+1, err)
+		}
 		t.sampleHeap()
 		forest.Append(tr)
 		if ckptPath != "" && (ti+1)%t.cfg.CheckpointEvery == 0 && ti+1 < t.cfg.Trees {

@@ -214,12 +214,16 @@ func (e *verticalEngine) buildFeatureMaps() {
 }
 
 // beginRun allocates the redundant-compute gradient scratch of the
-// non-leader workers.
+// hosted non-lead workers. On a distributed cluster each rank hosts
+// exactly its lead worker, which writes the trainer's shared vectors
+// directly, so no scratch exists at all.
 func (e *verticalEngine) beginRun() {
 	t := e.t
 	e.scratch = make([][]float64, t.w)
-	for w := 1; w < t.w; w++ {
-		e.scratch[w] = make([]float64, t.n*t.c)
+	for w := 0; w < t.w; w++ {
+		if t.cl.HostsWorker(w) && !t.cl.Lead(w) {
+			e.scratch[w] = make([]float64, t.n*t.c)
+		}
 	}
 }
 
@@ -237,9 +241,9 @@ func (e *verticalEngine) transformReport() partition.ByteReport { return e.trans
 func (e *verticalEngine) computeGradients() {
 	t := e.t
 	labels := t.ds.Labels
-	t.cl.Parallel(phaseGrad, func(w int) {
+	t.cl.ParallelLocal(phaseGrad, func(w int) {
 		g, h := t.grads, t.hessv
-		if w != 0 {
+		if !t.cl.Lead(w) {
 			g = e.scratch[w][:t.n*t.c]
 			h = e.scratch[w][:t.n*t.c] // same buffer: redundant work, discarded
 		}
@@ -285,7 +289,7 @@ func (e *verticalEngine) dropHist(id int32) {
 // deriveHistograms computes each node's histogram as parent minus built
 // sibling, reusing the parent's storage (the parent entry is consumed).
 func (e *verticalEngine) deriveHistograms(toDerive []*nodeInfo) {
-	e.t.cl.Parallel(phaseHist, func(w int) {
+	e.t.cl.ParallelLocal(phaseHist, func(w int) {
 		hm := e.hist[w]
 		for _, nd := range toDerive {
 			parent := hm[nd.parent]
@@ -301,9 +305,9 @@ func (e *verticalEngine) rootTotals() ([]float64, []float64) {
 	t := e.t
 	g := make([]float64, t.c)
 	h := make([]float64, t.c)
-	t.cl.Parallel(phaseGrad, func(w int) {
+	t.cl.ParallelLocal(phaseGrad, func(w int) {
 		// Every worker computes the same totals from its gradient copy;
-		// worker 0's result is adopted.
+		// the lead worker's result is adopted (identical on every rank).
 		lg := make([]float64, t.c)
 		lh := make([]float64, t.c)
 		if t.c == 1 {
@@ -321,7 +325,7 @@ func (e *verticalEngine) rootTotals() ([]float64, []float64) {
 				}
 			}
 		}
-		if w == 0 {
+		if t.cl.Lead(w) {
 			copy(g, lg)
 			copy(h, lh)
 		}
@@ -336,7 +340,7 @@ func (e *verticalEngine) buildHistograms(toBuild []*nodeInfo) {
 		return
 	}
 	mem := t.cl.Stats().Mem("histogram")
-	t.cl.Parallel(phaseHist, func(w int) {
+	t.cl.ParallelLocal(phaseHist, func(w int) {
 		hs := make([]*histogram.Hist, len(toBuild))
 		for i := range hs {
 			hs[i] = t.pool.Get(e.layout[w])
@@ -449,24 +453,32 @@ func (e *verticalEngine) buildHybrid(w int, nd *nodeInfo, h *histogram.Hist) {
 // subset, then exchanges the local bests (Section 2.2.1).
 func (e *verticalEngine) findSplits(frontier []*nodeInfo) map[int32]resolvedSplit {
 	t := e.t
-	bests := make([]map[int32]histogram.Split, t.w)
-	t.cl.Parallel(phaseSplit, func(w int) {
-		m := make(map[int32]histogram.Split, len(frontier))
-		for _, nd := range frontier {
-			m[nd.id] = t.finder.FindBest(e.hist[w][nd.id], nd.totalG, nd.totalH, e.numBins[w])
+	recs := make([][]byte, t.w)
+	t.cl.ParallelLocal(phaseSplit, func(w int) {
+		splits := make([]histogram.Split, len(frontier))
+		for i, nd := range frontier {
+			s := t.finder.FindBest(e.hist[w][nd.id], nd.totalG, nd.totalH, e.numBins[w])
+			if s.Valid {
+				s.Feature = e.groups[w][s.Feature] // slot -> global id
+			}
+			splits[i] = s
 		}
-		bests[w] = m
+		recs[w] = encodeSplits(splits)
 	})
-	t.cl.AllGatherSmall(phaseSplit, int64(len(frontier))*splitWireBytes)
+	for w := range recs {
+		if recs[w] == nil {
+			recs[w] = make([]byte, len(frontier)*splitWireBytes)
+		}
+	}
+	t.cl.AllGatherFixed(phaseSplit, recs)
 	out := make(map[int32]resolvedSplit, len(frontier))
-	for _, nd := range frontier {
+	for i, nd := range frontier {
 		best := histogram.Split{}
 		for w := 0; w < t.w; w++ {
-			s := bests[w][nd.id]
+			s := decodeSplit(recs[w][i*splitWireBytes:])
 			if !s.Valid {
 				continue
 			}
-			s.Feature = e.groups[w][s.Feature] // slot -> global id
 			if histogram.Prefer(s, best) {
 				best = s
 			}
@@ -484,7 +496,7 @@ func (e *verticalEngine) findSplits(frontier []*nodeInfo) map[int32]resolvedSpli
 func (e *verticalEngine) applyLayer(splits map[int32]resolvedSplit, children map[int32][2]int32) {
 	t := e.t
 	if t.cfg.FullCopy {
-		t.cl.Parallel(phaseNode, func(w int) {
+		t.cl.ParallelLocal(phaseNode, func(w int) {
 			for parent, ch := range children {
 				sp := splits[parent]
 				e.n2i[w].Split(parent, ch[0], ch[1], func(inst uint32) bool {
@@ -501,7 +513,12 @@ func (e *verticalEngine) applyLayer(splits map[int32]resolvedSplit, children map
 	}
 
 	// Each split's owner fills the placement bits for its node; merging
-	// the per-worker bitmaps yields the layer's placement.
+	// the per-worker bitmaps yields the layer's placement. This stays a
+	// replicated Parallel even on a distributed cluster: the vertical
+	// engines materialize every worker's columns and indexes at every
+	// rank (their prepare loops are replicated), so each rank derives the
+	// full placement locally and only the broadcast's charge — realized
+	// as shadow traffic — touches the wire.
 	parts := make([]*bitmap.Bitmap, t.w)
 	t.cl.Parallel(phaseNode, func(w int) {
 		bm := bitmap.New(t.n)
@@ -587,7 +604,7 @@ func (e *verticalEngine) childStats(nodes []*nodeInfo) {
 	stride := 2 * t.c
 	sums := make([]float64, stride*len(nodes))
 	counts := make([]int, len(nodes))
-	t.cl.Parallel(phaseNode, func(w int) {
+	t.cl.ParallelLocal(phaseNode, func(w int) {
 		local := make([]float64, stride*len(nodes))
 		for i, nd := range nodes {
 			insts := e.n2i[w].Instances(nd.id)
@@ -608,11 +625,11 @@ func (e *verticalEngine) childStats(nodes []*nodeInfo) {
 					}
 				}
 			}
-			if w == 0 {
+			if t.cl.Lead(w) {
 				counts[i] = len(insts)
 			}
 		}
-		if w == 0 {
+		if t.cl.Lead(w) {
 			copy(sums, local)
 		}
 	})
@@ -630,9 +647,9 @@ func (e *verticalEngine) childStats(nodes []*nodeInfo) {
 func (e *verticalEngine) updatePredictions(tr *tree.Tree) {
 	t := e.t
 	eta := t.cfg.LearningRate
-	t.cl.Parallel(phaseUpdate, func(w int) {
+	t.cl.ParallelLocal(phaseUpdate, func(w int) {
 		preds := t.preds
-		if w != 0 {
+		if !t.cl.Lead(w) {
 			preds = e.scratch[w]
 		}
 		for id := range tr.Nodes {

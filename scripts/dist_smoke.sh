@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Distributed training smoke test: train the same `.vbin` cache image
+# twice through a real `veroctl` — once on the single-process simulation,
+# once as three OS processes meshed over loopback TCP — and require the
+# two model files to be byte-identical. Also asserts the distributed run
+# reports its measured payload equal to the alpha-beta model's accounted
+# volume, and that an armed `cluster.tcp.write` failpoint aborts training
+# at a tree boundary instead of hanging or writing a model. Run from the
+# repo root; used by CI and reproducible locally with
+# `bash scripts/dist_smoke.sh`.
+set -euo pipefail
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+TRAIN_ARGS=(-data "$DIR/train.vbin" -classes 2 -trees 12 -layers 5 -system vero)
+
+fail() { echo "FAIL: $1"; shift; for f in "$@"; do echo "--- $f:"; cat "$f"; done; exit 1; }
+
+echo "== build"
+go build -o "$DIR/veroctl" ./cmd/veroctl
+go build -o "$DIR/datagen" ./cmd/datagen
+
+echo "== generate a .vbin cache image"
+"$DIR/datagen" -n 20000 -d 300 -c 2 -density 0.3 -informative 0.3 \
+  -format vbin -out "$DIR/train.vbin"
+
+echo "== single-process simulated reference run (3 workers)"
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers 3 -model "$DIR/sim.json" >"$DIR/sim.log" \
+  || fail "simulated run failed" "$DIR/sim.log"
+
+BASE=$(( (RANDOM % 20000) + 20000 ))
+PEERS="127.0.0.1:$BASE,127.0.0.1:$((BASE+1)),127.0.0.1:$((BASE+2))"
+
+echo "== 3-rank loopback deployment on $PEERS"
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 1 \
+  -model "$DIR/rank1.json" >"$DIR/rank1.log" 2>&1 & PID1=$!
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 2 \
+  -model "$DIR/rank2.json" >"$DIR/rank2.log" 2>&1 & PID2=$!
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 0 \
+  -model "$DIR/dist.json" >"$DIR/dist.log" 2>&1 \
+  || fail "rank 0 failed" "$DIR/dist.log" "$DIR/rank1.log" "$DIR/rank2.log"
+wait "$PID1" || fail "rank 1 failed" "$DIR/rank1.log"
+wait "$PID2" || fail "rank 2 failed" "$DIR/rank2.log"
+
+cmp -s "$DIR/sim.json" "$DIR/dist.json" \
+  || fail "socket-trained model differs from the simulation" "$DIR/sim.log" "$DIR/dist.log"
+grep -q "bytes agree" "$DIR/dist.log" \
+  || fail "measured payload does not match the accounted volume" "$DIR/dist.log"
+# Only the coordinating rank persists the model.
+[ -f "$DIR/rank1.json" ] && fail "rank 1 wrote a model file" "$DIR/rank1.log"
+echo "   models byte-identical; $(grep 'measured:' "$DIR/dist.log")"
+
+echo "== injected transport write failure aborts at a tree boundary"
+BASE=$(( (RANDOM % 20000) + 20000 ))
+PEERS="127.0.0.1:$BASE,127.0.0.1:$((BASE+1))"
+set +e
+VERO_FAILPOINTS='cluster.tcp.write=20*error' \
+  "$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 1 \
+  -model "$DIR/faulted1.json" >"$DIR/fault1.log" 2>&1 & PIDF=$!
+VERO_FAILPOINTS='cluster.tcp.write=20*error' \
+  "$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 0 \
+  -model "$DIR/faulted0.json" >"$DIR/fault0.log" 2>&1
+STATUS=$?
+wait "$PIDF"
+STATUS1=$?
+set -e
+[ "$STATUS" -ne 0 ] || fail "rank 0 succeeded with a broken transport" "$DIR/fault0.log"
+[ "$STATUS1" -ne 0 ] || fail "rank 1 succeeded with a broken transport" "$DIR/fault1.log"
+grep -q "aborted during round" "$DIR/fault0.log" \
+  || fail "injected-fault error is not the tree-boundary abort" "$DIR/fault0.log"
+[ -f "$DIR/faulted0.json" ] && fail "model written despite injected write failures"
+echo "   aborted with: $(tail -1 "$DIR/fault0.log")"
+
+echo "dist smoke OK"
