@@ -8,6 +8,7 @@
 //	veroctl train -data train.csv -format csv -cache .vero-cache -quadrant auto -model model.json
 //	veroctl train -data train.libsvm -checkpoint-dir ckpt -checkpoint-every 10 -model model.json
 //	veroctl train -data train.vbin -workers host1:9000,host2:9000 -rank 0 -model model.json
+//	veroctl train -data train.vbin -workers host1:9000,host2:9000 -rank 0 -shard -quadrant qd2 -model model.json
 //	veroctl ingest -data train.libsvm -classes 2 -out train.vbin
 //	veroctl eval  -data valid.libsvm -classes 2 -model model.json
 //	veroctl predict -data test.libsvm -classes 2 -model model.json
@@ -218,6 +219,7 @@ func cmdTrain(args []string) error {
 	ckptDir := fs.String("checkpoint-dir", "", "checkpoint directory: save resumable training state every -checkpoint-every trees and resume from it after a crash")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint period in trees (0 disables checkpointing)")
 	outOfCore := fs.Bool("out-of-core", false, "train from an mmap-backed view of the .vbin cache instead of loading the matrix into memory (bit-identical models; needs a .vbin -data path or -cache)")
+	shard := fs.Bool("shard", false, "load only this rank's shard of the .vbin cache — its row range (qd1/qd2) or feature group (qd3/qd4) — instead of the full image (distributed runs; needs -quadrant and a .vbin -data path)")
 	memBudgetMB := fs.Int64("mem-budget-mb", 64, "out-of-core streaming scratch budget in MiB")
 	verbose := fs.Bool("v", false, "per-tree progress")
 	finish := ingestFlags(fs)
@@ -252,7 +254,22 @@ func cmdTrain(args []string) error {
 		policy = q.String()
 	}
 	ingestStart := time.Now()
-	ds, status, err := gbdt.IngestFile(*data, opts)
+	var (
+		ds     *gbdt.Dataset
+		status gbdt.IngestStatus
+	)
+	if *shard {
+		if dist == nil {
+			return fmt.Errorf("-shard needs a distributed deployment: pass a host:port peer list to -workers")
+		}
+		if *outOfCore {
+			return fmt.Errorf("-shard and -out-of-core are distinct memory-reduction strategies; pick one")
+		}
+		ds, err = gbdt.IngestShard(*data, opts)
+		status = gbdt.IngestWarm // shard loads always come from the cache image
+	} else {
+		ds, status, err = gbdt.IngestFile(*data, opts)
+	}
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package gbdt
 
 import (
 	"fmt"
+	"hash/crc32"
 	"net"
 	"time"
 
@@ -59,8 +60,10 @@ type PhaseComm struct {
 }
 
 // connectCluster builds the cluster the options describe, attaching a TCP
-// transport when DistributedOptions are present.
-func connectCluster(opts Options) (*cluster.Cluster, error) {
+// transport when DistributedOptions are present. dataFP is the dataset
+// fingerprint exchanged in the mesh's hello handshake (meshFingerprint);
+// every rank must present the identical value.
+func connectCluster(opts Options, dataFP uint32) (*cluster.Cluster, error) {
 	var copts []cluster.Option
 	if opts.Concurrent {
 		copts = append(copts, cluster.WithConcurrent())
@@ -73,6 +76,7 @@ func connectCluster(opts Options) (*cluster.Cluster, error) {
 			Listener:    d.listener,
 			DialTimeout: d.DialTimeout,
 			OpTimeout:   d.OpTimeout,
+			Fingerprint: dataFP,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("gbdt: connecting the worker mesh: %w", err)
@@ -80,6 +84,32 @@ func connectCluster(opts Options) (*cluster.Cluster, error) {
 		copts = append(copts, cluster.WithTransport(tr))
 	}
 	return cluster.New(opts.Workers, opts.Network, copts...), nil
+}
+
+// meshFingerprint derives the 32-bit dataset fingerprint the hello
+// handshake exchanges. Shards and out-of-core views present the backing
+// cache image's fingerprint — identical at every rank even though the
+// materialized bytes differ per rank — so a deployment where one rank
+// opened a different cache fails at connect time. Fully replicated
+// in-memory datasets present zero (all ranks unset still must agree).
+func meshFingerprint(ds *Dataset) uint32 {
+	switch {
+	case ds.Shard != nil:
+		return ds.Shard.FingerprintCRC()
+	case ds.OutOfCore():
+		return crc32.Checksum([]byte(ds.Blocks.Fingerprint()), crc32.MakeTable(crc32.Castagnoli))
+	}
+	return 0
+}
+
+// distIdentity names this rank's deployment slot — rank and worker count
+// — for checkpoint validation: a checkpoint written under one deployment
+// shape is rejected under another (a W=2 image never resumes a W=4 run).
+// Peer addresses deliberately stay out of the identity: a deployment
+// restarted after a crash may bind new ports, and what must match for a
+// safe resume is the shape and the dataset fingerprint, not the wiring.
+func distIdentity(d *DistributedOptions) string {
+	return fmt.Sprintf("rank%d/%d", d.Rank, len(d.Peers))
 }
 
 // phaseComms extracts the per-phase accounted-vs-measured table from the

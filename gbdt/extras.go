@@ -1,6 +1,7 @@
 package gbdt
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"vero/internal/advisor"
@@ -53,12 +54,17 @@ func (m *Model) Summarize() ModelStats { return m.forest.Summarize() }
 // and stops when the metric (AUC for binary, accuracy for multi-class,
 // RMSE for regression) has not improved for `patience` consecutive trees.
 // It returns the model truncated to the best iteration.
+//
+// On a distributed cluster (Options.Distributed) rank 0 owns the
+// validation set: it evaluates the metric after every tree and broadcasts
+// a stop/continue bit plus the best iteration as a real data-carrying
+// collective, charged against the alpha-beta model like every other
+// collective, so all ranks halt on — and truncate to — the same tree.
+// Other ranks' valid argument only sizes scratch; pass the same split
+// everywhere (or any dataset with the validation shape).
 func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (*Model, *Report, error) {
 	if patience <= 0 {
 		return nil, nil, fmt.Errorf("gbdt: patience %d", patience)
-	}
-	if opts.Distributed != nil {
-		return nil, nil, fmt.Errorf("gbdt: early stopping is not supported on a distributed cluster")
 	}
 	opts = opts.withDefaults()
 	numClass := 1
@@ -77,44 +83,73 @@ func TrainWithEarlyStopping(train, valid *Dataset, opts Options, patience int) (
 	}
 	bestIter := -1
 	sinceBest := 0
+	stop := false
 	userOnTree := opts.OnTree
 
-	cl := newCluster(opts)
+	cl, err := connectCluster(opts, meshFingerprint(train))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cl.Close()
 	base := baseConfig(opts)
 	base.OnTree = func(i int, elapsed float64, tr *tree.Tree) {
-		for r := 0; r < valid.NumInstances(); r++ {
-			feat, val := valid.X.Row(r)
-			tr.Predict(feat, val, eta, margins[r*numClass:(r+1)*numClass])
+		if !cl.Distributed() || cl.Rank() == 0 {
+			for r := 0; r < valid.NumInstances(); r++ {
+				feat, val := valid.X.Row(r)
+				tr.Predict(feat, val, eta, margins[r*numClass:(r+1)*numClass])
+			}
+			var metric float64
+			switch {
+			case numClass > 1:
+				metric = loss.MultiAccuracy(margins, valid.Labels, numClass)
+			case train.NumClass == 2:
+				metric = loss.AUC(margins, valid.Labels)
+			default:
+				metric = loss.RMSE(margins, valid.Labels)
+			}
+			improved := metric > best
+			if !higherBetter {
+				improved = metric < best
+			}
+			if improved {
+				best = metric
+				bestIter = i
+				sinceBest = 0
+			} else {
+				sinceBest++
+			}
+			stop = sinceBest >= patience
 		}
-		var metric float64
-		switch {
-		case numClass > 1:
-			metric = loss.MultiAccuracy(margins, valid.Labels, numClass)
-		case train.NumClass == 2:
-			metric = loss.AUC(margins, valid.Labels)
-		default:
-			metric = loss.RMSE(margins, valid.Labels)
-		}
-		improved := metric > best
-		if !higherBetter {
-			improved = metric < best
-		}
-		if improved {
-			best = metric
-			bestIter = i
-			sinceBest = 0
-		} else {
-			sinceBest++
+		if cl.Distributed() {
+			// The validation owner's verdict travels as a real collective —
+			// every rank participates every round, so the mesh stays in
+			// lockstep and all ranks halt on (and truncate to) the same
+			// tree. 10 bytes: stop bit + best iteration.
+			rec := make([]byte, 10)
+			if cl.Rank() == 0 {
+				if stop {
+					rec[0] = 1
+				}
+				binary.LittleEndian.PutUint64(rec[1:9], uint64(int64(bestIter)))
+			}
+			cl.BroadcastBytes("train.earlystop", rec, 0)
+			stop = rec[0] == 1
+			bestIter = int(int64(binary.LittleEndian.Uint64(rec[1:9])))
 		}
 		if userOnTree != nil {
 			userOnTree(i, elapsed, tr)
 		}
 	}
-	base.ShouldStop = func(int) bool { return sinceBest >= patience }
+	base.ShouldStop = func(int) bool { return stop }
 
 	res, err := runTrain(cl, train, opts, base)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cl.Distributed() {
+		if err := cl.SyncMeasured(); err != nil {
+			return nil, nil, err
+		}
 	}
 	// Truncate to the best iteration.
 	if bestIter >= 0 && bestIter+1 < len(res.Forest.Trees) {

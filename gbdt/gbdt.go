@@ -344,7 +344,7 @@ type Report struct {
 // the mesh is closed before returning.
 func Train(ds *Dataset, opts Options) (*Model, *Report, error) {
 	opts = opts.withDefaults()
-	cl, err := connectCluster(opts)
+	cl, err := connectCluster(opts, meshFingerprint(ds))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -381,18 +381,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// newCluster builds the simulated cluster the options describe (entry
-// points that do not support a distributed transport).
-func newCluster(opts Options) *cluster.Cluster {
-	if opts.Concurrent {
-		return cluster.New(opts.Workers, opts.Network, cluster.WithConcurrent())
-	}
-	return cluster.New(opts.Workers, opts.Network)
-}
-
 // baseConfig translates the options' hyper-parameters to a core config.
 func baseConfig(opts Options) core.Config {
-	return core.Config{
+	cfg := core.Config{
 		Trees:           opts.Trees,
 		Layers:          opts.Layers,
 		Splits:          opts.Splits,
@@ -408,6 +399,10 @@ func baseConfig(opts Options) core.Config {
 		CheckpointEvery: opts.CheckpointEvery,
 		OnTree:          opts.OnTree,
 	}
+	if d := opts.Distributed; d != nil {
+		cfg.DistIdentity = distIdentity(d)
+	}
+	return cfg
 }
 
 // runTrain routes to the requested policy: an explicit quadrant trains

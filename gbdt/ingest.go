@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"vero/internal/datasets"
 	"vero/internal/ingest"
 )
 
@@ -90,6 +91,51 @@ func IngestFile(path string, opts Options) (*Dataset, IngestStatus, error) {
 		return nil, "", err
 	}
 	return ds, IngestCold, nil
+}
+
+// IngestShard opens a .vbin cache and materializes only this rank's
+// shard of it: the rank's row range for the horizontal quadrants
+// (QD1/QD2), its balanced feature group for the vertical ones (QD3/QD4).
+// It requires Options.Distributed — the shard is this deployment slot's
+// slice, derived deterministically from (Rank, len(Peers), Quadrant) so
+// every rank carves the same image identically — and an explicit
+// Quadrant (the advisor cannot run on rank-local statistics).
+//
+// The returned dataset keeps the global n×d shape with entries
+// materialized only inside the shard; labels and the quantized bins stay
+// full. Training on it produces the bit-identical model a fully
+// replicated run produces, while each rank holds O(nnz/W) of the image.
+func IngestShard(path string, opts Options) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if opts.NumClass == 0 {
+		opts.NumClass = 2
+	}
+	d := opts.Distributed
+	if d == nil {
+		return nil, fmt.Errorf("gbdt: IngestShard needs Options.Distributed (a deployment slot to shard for)")
+	}
+	var kind datasets.ShardKind
+	switch opts.Quadrant {
+	case QD1, QD2:
+		kind = datasets.ShardRows
+	case QD3, QD4:
+		kind = datasets.ShardCols
+	case QuadrantAuto, 0:
+		return nil, fmt.Errorf("gbdt: IngestShard needs an explicit Quadrant (QD1..QD4): the sharding axis follows it")
+	default:
+		return nil, fmt.Errorf("gbdt: IngestShard: unknown quadrant %v", opts.Quadrant)
+	}
+	if !strings.HasSuffix(path, ".vbin") {
+		return nil, fmt.Errorf("gbdt: IngestShard loads .vbin cache images; ingest %s once (IngestFile with a CacheDir) and point every rank at the cache", path)
+	}
+	ds, err := ingest.ReadCacheShard(path, kind, d.Rank, len(d.Peers))
+	if err != nil {
+		return nil, err
+	}
+	if ds.NumClass != opts.NumClass {
+		return nil, fmt.Errorf("gbdt: cache %s holds %d classes, want %d", path, ds.NumClass, opts.NumClass)
+	}
+	return ds, nil
 }
 
 // ingestOutOfCore serves the Options.OutOfCore path: instead of

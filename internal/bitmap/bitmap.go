@@ -95,6 +95,19 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+// Or sets every bit of b that is set in other. Both bitmaps must share
+// one length; merging the per-owner placement shards of a distributed
+// vertical layer is the intended use (each instance is routed by exactly
+// one owner, so OR-ing the shards reconstructs the full placement).
+func (b *Bitmap) Or(other *Bitmap) {
+	if other.n != b.n {
+		panic(fmt.Sprintf("bitmap: or of %d-bit and %d-bit bitmaps", b.n, other.n))
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
 // Clone returns a deep copy of the bitmap.
 func (b *Bitmap) Clone() *Bitmap {
 	c := New(b.n)

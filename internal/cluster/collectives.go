@@ -281,6 +281,24 @@ func (c *Cluster) Broadcast(phase string, b int64) {
 	})
 }
 
+// BroadcastBytes is the data-carrying form of Broadcast: buf moves from
+// the root worker to every other worker, charged exactly like Broadcast.
+// On the simulation the payload is already in place (one process hosts
+// every worker) and only the cost is charged; on a distributed cluster
+// the root's bytes overwrite every peer's buf. len(buf) must be identical
+// at every rank. It carries decisions only one rank can make — the
+// early-stopping verdict, instance-placement bitmaps of sharded vertical
+// training — so every rank proceeds from identical bytes.
+func (c *Cluster) BroadcastBytes(phase string, buf []byte, root int) {
+	steps := ceilLog2(c.w)
+	b := int64(len(buf))
+	total := int64(c.w-1) * b
+	c.stats.addComm(phase, OpBroadcast, total, c.simTime(steps, float64(steps)*float64(b)))
+	if c.tr != nil && c.w > 1 {
+		c.transportOp(phase, func() error { return c.tr.Broadcast(phase, buf, root) })
+	}
+}
+
 // AllGatherSmall charges an all-gather where every worker contributes b
 // bytes and receives everyone else's contribution (exchanging local best
 // splits in vertical partitioning, Section 2.2.1). Shadow traffic on a

@@ -52,6 +52,7 @@ const (
 	opResult  op = 3 // reduced segment distributed back (all-reduce)
 	opRecord  op = 4 // fixed-size all-gather record
 	opShadow  op = 5 // synthetic traffic realizing a charge-only collective
+	opBcast   op = 6 // data-carrying broadcast payload from the root rank
 )
 
 func (o op) String() string {
@@ -66,6 +67,8 @@ func (o op) String() string {
 		return "record"
 	case opShadow:
 		return "shadow"
+	case opBcast:
+		return "bcast"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

@@ -58,6 +58,13 @@ type Config struct {
 	OpTimeout time.Duration
 	// MaxPayload caps a single frame's payload (default 1 GiB).
 	MaxPayload int
+	// Fingerprint optionally identifies the dataset (or dataset shard
+	// family) this rank trains on; it is exchanged in the hello handshake
+	// and every rank must present the identical value, so a deployment
+	// where one rank ingested different data fails at connect time instead
+	// of silently training a diverged model. Zero means "no fingerprint"
+	// and still must match (all ranks unset).
+	Fingerprint uint32
 }
 
 // peerConn is one mesh connection. The write side is shared by the
@@ -75,6 +82,7 @@ type Transport struct {
 	w, rank    int
 	opTimeout  time.Duration
 	maxPayload int
+	dataFP     uint32
 	ln         net.Listener
 	conns      []*peerConn // indexed by peer rank; nil at self
 	payload    atomic.Int64
@@ -104,6 +112,7 @@ func Connect(cfg Config) (*Transport, error) {
 		rank:       cfg.Rank,
 		opTimeout:  cfg.OpTimeout,
 		maxPayload: cfg.MaxPayload,
+		dataFP:     cfg.Fingerprint,
 		conns:      make([]*peerConn, w),
 	}
 	if t.opTimeout <= 0 {
@@ -195,13 +204,14 @@ func peersHash(peers []string) uint32 {
 	return crc
 }
 
-// helloPayload is the 8-byte handshake body: deployment size, sender rank
-// and the peer-list fingerprint.
-func helloPayload(w, rank int, hash uint32) []byte {
-	b := make([]byte, 8)
+// helloPayload is the 12-byte handshake body: deployment size, sender
+// rank, the peer-list fingerprint and the dataset fingerprint.
+func helloPayload(w, rank int, hash, dataFP uint32) []byte {
+	b := make([]byte, 12)
 	binary.LittleEndian.PutUint16(b, uint16(w))
 	binary.LittleEndian.PutUint16(b[2:], uint16(rank))
 	binary.LittleEndian.PutUint32(b[4:], hash)
+	binary.LittleEndian.PutUint32(b[8:], dataFP)
 	return b
 }
 
@@ -215,7 +225,7 @@ func (t *Transport) exchangeHello(conn net.Conn, hash uint32, wantRank int, dead
 	conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
 	send := func() error {
-		buf := appendFrame(nil, &frame{Op: opHello, Rank: uint16(t.rank), Payload: helloPayload(t.w, t.rank, hash)})
+		buf := appendFrame(nil, &frame{Op: opHello, Rank: uint16(t.rank), Payload: helloPayload(t.w, t.rank, hash, t.dataFP)})
 		_, err := conn.Write(buf)
 		return err
 	}
@@ -228,17 +238,20 @@ func (t *Transport) exchangeHello(conn net.Conn, hash uint32, wantRank int, dead
 	if err != nil {
 		return -1, fmt.Errorf("reading hello: %w", err)
 	}
-	if f.Op != opHello || len(f.Payload) != 8 {
+	if f.Op != opHello || len(f.Payload) != 12 {
 		return -1, fmt.Errorf("expected hello frame, got %s with %d-byte payload", f.Op, len(f.Payload))
 	}
 	peerW := int(binary.LittleEndian.Uint16(f.Payload))
 	peerRank := int(binary.LittleEndian.Uint16(f.Payload[2:]))
 	peerHash := binary.LittleEndian.Uint32(f.Payload[4:])
+	peerFP := binary.LittleEndian.Uint32(f.Payload[8:])
 	switch {
 	case peerW != t.w:
 		return -1, fmt.Errorf("peer rank %d believes the deployment has %d workers, this rank has %d", peerRank, peerW, t.w)
 	case peerHash != hash:
 		return -1, fmt.Errorf("peer rank %d has a different peer list (topology fingerprint %#x, ours %#x)", peerRank, peerHash, hash)
+	case peerFP != t.dataFP:
+		return -1, fmt.Errorf("peer rank %d ingested different data (dataset fingerprint %#x, ours %#x)", peerRank, peerFP, t.dataFP)
 	case int(f.Rank) != peerRank:
 		return -1, fmt.Errorf("hello frame rank %d contradicts its payload rank %d", f.Rank, peerRank)
 	case wantRank >= 0 && peerRank != wantRank:
@@ -648,6 +661,42 @@ func (t *Transport) AllGather(phase string, recs [][]byte) error {
 			})
 	}
 	return t.runAll(fns)
+}
+
+// Broadcast implements cluster.Transport: the root sends buf to every
+// peer; peers overwrite their buf with the root's bytes. (W-1)·len(buf)
+// payload bytes total, matching the charged binomial-broadcast volume.
+func (t *Transport) Broadcast(phase string, buf []byte, root int) error {
+	if t.w == 1 {
+		return nil
+	}
+	if root < 0 || root >= t.w {
+		return t.fail(fmt.Errorf("tcptransport: rank %d: phase %q: broadcast root %d outside deployment of %d", t.rank, phase, root, t.w))
+	}
+	seq, err := t.startOp()
+	if err != nil {
+		return err
+	}
+	pc := phaseCRC(phase)
+	if t.rank == root {
+		var fns []func() error
+		for j := 0; j < t.w; j++ {
+			if j == t.rank {
+				continue
+			}
+			fns = append(fns, func() error { return t.send(j, opBcast, pc, seq, phase, buf) })
+		}
+		return t.runAll(fns)
+	}
+	p, err := t.recv(root, opBcast, pc, seq, phase)
+	if err != nil {
+		return t.fail(err)
+	}
+	if len(p) != len(buf) {
+		return t.fail(fmt.Errorf("tcptransport: rank %d: phase %q: rank %d broadcast %d bytes, want %d", t.rank, phase, root, len(p), len(buf)))
+	}
+	copy(buf, p)
+	return nil
 }
 
 // Shadow implements cluster.Transport: send[i][j] zero bytes move from

@@ -44,6 +44,10 @@ type Transport interface {
 	// rank's contribution, and every other entry is overwritten with the
 	// corresponding rank's record. All entries must share one length.
 	AllGather(phase string, recs [][]byte) error
+	// Broadcast moves buf from the root rank to every peer: on entry only
+	// the root's buf is meaningful; on return every rank holds the root's
+	// bytes. len(buf) must be identical at every rank.
+	Broadcast(phase string, buf []byte, root int) error
 	// Shadow moves synthetic traffic shaped like a charged collective:
 	// send[i][j] payload bytes from rank i to rank j (diagonal ignored).
 	// It exists so that charge-only collectives of the simulation

@@ -1,0 +1,234 @@
+package transporttest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"vero/internal/cluster"
+	"vero/internal/cluster/tcptransport"
+	"vero/internal/failpoint"
+)
+
+// Chaos harness: a fault-schedule runner for real deployments. Where the
+// conformance suite proves a healthy mesh computes the right values, the
+// chaos tests prove an unhealthy one fails the right way — every rank
+// surfaces an error naming the culprit instead of hanging, delayed frames
+// never change results, and transient connect loss heals by retry.
+
+// FaultKind names one way a deployment misbehaves.
+type FaultKind string
+
+// The fault kinds a Schedule can carry.
+const (
+	// FaultKill closes Rank's transport cold at the start of round Round —
+	// from the outside indistinguishable from the process dying.
+	FaultKill FaultKind = "kill"
+	// FaultDelay stalls frame writes: the deployment's first Frames frame
+	// writes each sleep DelayMS before touching the wire. Delays are not
+	// failures — results must stay bit-identical.
+	FaultDelay FaultKind = "delay"
+	// FaultDrop fails the deployment's first Drops dial attempts during
+	// mesh establishment — a transient connect loss every rank must heal
+	// by retrying.
+	FaultDrop FaultKind = "drop"
+)
+
+// Fault is one scheduled fault. Kill faults are applied by RunSchedule;
+// delay and drop faults map to process-global failpoints and are armed
+// with ArmFault before the mesh connects.
+type Fault struct {
+	Kind FaultKind
+	// Rank and Round place a kill: the rank that dies and the 0-based
+	// control round it dies at.
+	Rank, Round int
+	// DelayMS and Frames shape a delay fault.
+	DelayMS, Frames int
+	// Drops counts a drop fault's failed dial attempts.
+	Drops int
+}
+
+// ArmFault arms the failpoint a delay or drop fault maps to (kill faults
+// are RunSchedule's job, not a failpoint's). The points are global to the
+// process, so one armed fault strikes whichever rank hits the seam next —
+// chaotic by design. Reset is registered on tb.
+func ArmFault(tb testing.TB, f Fault) {
+	tb.Helper()
+	var name, spec string
+	switch f.Kind {
+	case FaultDelay:
+		name = tcptransport.FailpointWrite
+		spec = fmt.Sprintf("1-%d*sleep(%d)", f.Frames, f.DelayMS)
+	case FaultDrop:
+		name = tcptransport.FailpointDial
+		spec = fmt.Sprintf("1-%d*error", f.Drops)
+	default:
+		tb.Fatalf("fault kind %q does not arm a failpoint", f.Kind)
+	}
+	if err := failpoint.Enable(name, spec); err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(failpoint.Reset)
+}
+
+// MeshConfig tailors a chaos deployment.
+type MeshConfig struct {
+	W     int
+	Model cluster.NetworkModel // zero value: Gigabit
+	// DialTimeout and OpTimeout default to 10s and 2s — short enough that
+	// a killed peer surfaces as an error in test time, not CI-timeout time.
+	DialTimeout, OpTimeout time.Duration
+	// Fingerprint, when set, gives each rank its dataset fingerprint for
+	// the hello exchange (the seed of the mismatch tests); nil means zero
+	// everywhere.
+	Fingerprint func(rank int) uint32
+}
+
+// ConnectMesh builds a loopback deployment per cfg and returns the
+// rank-ordered handles next to each rank's connect error. Unlike
+// Loopback it does not Fatal on a failed connect: chaos tests assert on
+// those errors. Handles of failed ranks are nil; Close of the successful
+// ones is registered on tb.
+func ConnectMesh(tb testing.TB, cfg MeshConfig) ([]*cluster.Cluster, []error) {
+	tb.Helper()
+	if cfg.Model == (cluster.NetworkModel{}) {
+		cfg.Model = cluster.Gigabit()
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 2 * time.Second
+	}
+	listeners := make([]net.Listener, cfg.W)
+	peers := make([]string, cfg.W)
+	for r := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatalf("binding loopback listener %d: %v", r, err)
+		}
+		listeners[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	handles := make([]*cluster.Cluster, cfg.W)
+	errs := make([]error, cfg.W)
+	var wg sync.WaitGroup
+	wg.Add(cfg.W)
+	for r := 0; r < cfg.W; r++ {
+		go func(r int) {
+			defer wg.Done()
+			var fp uint32
+			if cfg.Fingerprint != nil {
+				fp = cfg.Fingerprint(r)
+			}
+			tr, err := tcptransport.Connect(tcptransport.Config{
+				Rank:        r,
+				Peers:       peers,
+				Listener:    listeners[r],
+				DialTimeout: cfg.DialTimeout,
+				OpTimeout:   cfg.OpTimeout,
+				Fingerprint: fp,
+			})
+			if err != nil {
+				errs[r] = err
+				listeners[r].Close()
+				return
+			}
+			handles[r] = cluster.New(cfg.W, cfg.Model, cluster.WithTransport(tr))
+		}(r)
+	}
+	wg.Wait()
+	tb.Cleanup(func() {
+		for _, h := range handles {
+			if h != nil {
+				h.Close()
+			}
+		}
+	})
+	return handles, errs
+}
+
+// RunSchedule drives `rounds` control rounds against the handles, one
+// goroutine per rank, applying the schedule's kill faults, and returns
+// each rank's sticky transport error (nil for a clean run; the killed
+// rank itself reports nil — it left on purpose). Delay and drop faults
+// in the schedule must have been armed with ArmFault beforehand.
+//
+// Each control round replays the collectives distributed training v2
+// added: the resume agreement's fixed-record all-gather of round votes
+// and the early-stopping broadcast from rank 0 (the same shapes
+// core.Train issues as "ckpt.resume" and "train.earlystop"). When verify
+// is true — a schedule with no kills — the round also checks the values
+// that arrived.
+func RunSchedule(t *testing.T, handles []*cluster.Cluster, rounds int, faults []Fault, verify bool) []error {
+	t.Helper()
+	kills := make(map[int]int)
+	for _, f := range faults {
+		if f.Kind == FaultKill {
+			kills[f.Rank] = f.Round
+		}
+	}
+	errs := make([]error, len(handles))
+	var wg sync.WaitGroup
+	for r, h := range handles {
+		if h == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(rank int, c *cluster.Cluster) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				if killRound, dies := kills[rank]; dies && round == killRound {
+					c.Close()
+					return
+				}
+				controlRound(t, c, len(handles), round, verify)
+				if c.Err() != nil {
+					break
+				}
+			}
+			errs[rank] = c.Err()
+		}(r, h)
+	}
+	wg.Wait()
+	return errs
+}
+
+// controlRound is one round of the v2 control collectives on one handle.
+func controlRound(t *testing.T, c *cluster.Cluster, w, round int, verify bool) {
+	t.Helper()
+	// Resume agreement: every rank votes its checkpoint round as an
+	// 8-byte record; the all-gather hands each rank the full ballot.
+	recs := make([][]byte, w)
+	for v := 0; v < w; v++ {
+		recs[v] = make([]byte, 8)
+		if c.HostsWorker(v) {
+			binary.LittleEndian.PutUint64(recs[v], uint64(round*1000+v))
+		}
+	}
+	c.AllGatherFixed("ckpt.resume", recs)
+	if verify && c.Err() == nil {
+		for v := 0; v < w; v++ {
+			if got := binary.LittleEndian.Uint64(recs[v]); got != uint64(round*1000+v) {
+				t.Errorf("rank %d round %d: vote %d arrived as %d", c.Rank(), round, v, got)
+			}
+		}
+	}
+
+	// Early-stopping verdict: rank 0 fills the 10-byte stop record,
+	// everyone receives it.
+	stop := make([]byte, 10)
+	if !c.Distributed() || c.Rank() == 0 {
+		stop[0] = byte(round % 2)
+		binary.LittleEndian.PutUint64(stop[1:9], uint64(round))
+	}
+	c.BroadcastBytes("train.earlystop", stop, 0)
+	if verify && c.Err() == nil {
+		if stop[0] != byte(round%2) || binary.LittleEndian.Uint64(stop[1:9]) != uint64(round) {
+			t.Errorf("rank %d round %d: stop record arrived as %v", c.Rank(), round, stop)
+		}
+	}
+}

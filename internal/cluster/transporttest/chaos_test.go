@@ -1,0 +1,161 @@
+package transporttest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vero/internal/cluster"
+)
+
+// TestChaosKillAbortsWithAttribution kills one rank at one control round
+// and requires every survivor to surface a sticky transport error that
+// names the dead rank — not a hang, not a silent wrong answer. The sweep
+// covers the root dying, a leaf dying, and deaths at different rounds.
+func TestChaosKillAbortsWithAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up TCP meshes")
+	}
+	cases := []struct {
+		w, rank, round int
+	}{
+		{2, 1, 0}, // leaf dies before the first collective
+		{2, 0, 2}, // the broadcast root dies mid-schedule
+		{3, 2, 1},
+		{3, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("w%d-kill%d@%d", tc.w, tc.rank, tc.round), func(t *testing.T) {
+			handles, cerrs := ConnectMesh(t, MeshConfig{W: tc.w, OpTimeout: 2 * time.Second})
+			for r, err := range cerrs {
+				if err != nil {
+					t.Fatalf("connect rank %d: %v", r, err)
+				}
+			}
+			start := time.Now()
+			errs := RunSchedule(t, handles, 4, []Fault{
+				{Kind: FaultKill, Rank: tc.rank, Round: tc.round},
+			}, false)
+			if elapsed := time.Since(start); elapsed > 20*time.Second {
+				t.Fatalf("schedule took %v — survivors hung instead of failing fast", elapsed)
+			}
+			for r, err := range errs {
+				if r == tc.rank {
+					continue // the dead rank left on purpose
+				}
+				if err == nil {
+					t.Fatalf("rank %d finished cleanly next to a dead rank %d", r, tc.rank)
+				}
+				if !strings.Contains(err.Error(), fmt.Sprintf("rank %d", tc.rank)) {
+					t.Errorf("rank %d: error does not name the dead rank %d: %v", r, tc.rank, err)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosDelayIsHarmless stalls the deployment's early frame writes and
+// requires the control collectives to still deliver bit-exact values and
+// charge exactly what an undisturbed simulation charges: delays slow a
+// mesh down, they never change what it computes.
+func TestChaosDelayIsHarmless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a TCP mesh")
+	}
+	ArmFault(t, Fault{Kind: FaultDelay, DelayMS: 5, Frames: 40})
+	handles, cerrs := ConnectMesh(t, MeshConfig{W: 3})
+	for r, err := range cerrs {
+		if err != nil {
+			t.Fatalf("connect rank %d: %v", r, err)
+		}
+	}
+	const rounds = 3
+	errs := RunSchedule(t, handles, rounds, nil, true)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: delayed frames broke the schedule: %v", r, err)
+		}
+	}
+	// SyncMeasured is itself a collective: every rank joins concurrently.
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		wg.Add(1)
+		go func(h *cluster.Cluster) {
+			defer wg.Done()
+			if err := h.SyncMeasured(); err != nil {
+				t.Errorf("rank %d: SyncMeasured: %v", h.Rank(), err)
+			}
+		}(h)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	ref := cluster.New(3, cluster.Gigabit())
+	for round := 0; round < rounds; round++ {
+		controlRound(t, ref, 3, round, true)
+	}
+	for _, h := range handles {
+		checkAccounting(t, h, ref)
+	}
+}
+
+// TestChaosDropThenReconnect fails the deployment's first dial attempts:
+// mesh establishment must heal by retrying and the schedule then run
+// clean, because a transient connect loss is recoverable where a dead
+// peer is not.
+func TestChaosDropThenReconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a TCP mesh")
+	}
+	ArmFault(t, Fault{Kind: FaultDrop, Drops: 3})
+	handles, cerrs := ConnectMesh(t, MeshConfig{W: 2, DialTimeout: 10 * time.Second})
+	for r, err := range cerrs {
+		if err != nil {
+			t.Fatalf("connect rank %d did not heal the dropped dials: %v", r, err)
+		}
+	}
+	for r, err := range RunSchedule(t, handles, 2, nil, true) {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestChaosFingerprintMismatch gives one rank a different dataset
+// fingerprint: the hello exchange must refuse the whole deployment, and
+// the healthy ranks' errors must name the odd rank and the reason.
+func TestChaosFingerprintMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a TCP mesh")
+	}
+	const odd = 2
+	_, cerrs := ConnectMesh(t, MeshConfig{
+		W:           3,
+		DialTimeout: 2 * time.Second,
+		Fingerprint: func(rank int) uint32 {
+			if rank == odd {
+				return 0xdeadbeef
+			}
+			return 0x1
+		},
+	})
+	attributed := false
+	for r, err := range cerrs {
+		if err == nil {
+			t.Fatalf("rank %d connected across a dataset-fingerprint mismatch", r)
+		}
+		// The first rank to see the odd hello reports the mismatch; its
+		// teardown then cascades to the others as reset connections, so
+		// only the root-cause error is required to carry the full story.
+		if r != odd && strings.Contains(err.Error(), "ingested different data") &&
+			strings.Contains(err.Error(), fmt.Sprintf("rank %d", odd)) {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Errorf("no healthy rank attributed the mismatch to rank %d: %v", odd, cerrs)
+	}
+}

@@ -18,13 +18,11 @@ package transporttest
 
 import (
 	"fmt"
-	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"vero/internal/cluster"
-	"vero/internal/cluster/tcptransport"
 )
 
 // Backend constructs a W-worker deployment for the suite. New returns one
@@ -62,48 +60,12 @@ func TCP() Backend {
 // returned handles are rank-ordered; Close is registered on tb.
 func Loopback(tb testing.TB, w int, model cluster.NetworkModel) []*cluster.Cluster {
 	tb.Helper()
-	listeners := make([]net.Listener, w)
-	peers := make([]string, w)
-	for r := range listeners {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			tb.Fatalf("binding loopback listener %d: %v", r, err)
-		}
-		listeners[r] = ln
-		peers[r] = ln.Addr().String()
-	}
-	handles := make([]*cluster.Cluster, w)
-	errs := make([]error, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for r := 0; r < w; r++ {
-		go func(r int) {
-			defer wg.Done()
-			tr, err := tcptransport.Connect(tcptransport.Config{
-				Rank:        r,
-				Peers:       peers,
-				Listener:    listeners[r],
-				DialTimeout: 10 * time.Second,
-				OpTimeout:   10 * time.Second,
-			})
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			handles[r] = cluster.New(w, model, cluster.WithTransport(tr))
-		}(r)
-	}
-	wg.Wait()
+	handles, errs := ConnectMesh(tb, MeshConfig{W: w, Model: model, OpTimeout: 10 * time.Second})
 	for r, err := range errs {
 		if err != nil {
 			tb.Fatalf("connecting rank %d: %v", r, err)
 		}
 	}
-	tb.Cleanup(func() {
-		for _, h := range handles {
-			h.Close()
-		}
-	})
 	return handles
 }
 
@@ -286,6 +248,26 @@ func runScript(t *testing.T, c *cluster.Cluster, w int) {
 				for i := range recs[v] {
 					if recs[v][i] != byte(v*31+i) {
 						t.Errorf("rank %d: all-gather: record %d byte %d = %#x, want %#x", c.Rank(), v, i, recs[v][i], byte(v*31+i))
+						return
+					}
+				}
+			}
+		}
+
+		// Data-carrying broadcast: the root's bytes must arrive verbatim at
+		// every rank, for several roots and payload sizes (including empty).
+		for _, root := range []int{0, w - 1} {
+			for _, b := range []int{0, 17} {
+				buf := make([]byte, b)
+				if !c.Distributed() || c.Rank() == root {
+					for i := range buf {
+						buf[i] = byte(root*13 + i)
+					}
+				}
+				c.BroadcastBytes("conf.bcastbytes", buf, root)
+				for i := range buf {
+					if buf[i] != byte(root*13+i) {
+						t.Errorf("rank %d: broadcast-bytes root %d: byte %d = %#x, want %#x", c.Rank(), root, i, buf[i], byte(root*13+i))
 						return
 					}
 				}

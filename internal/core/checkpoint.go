@@ -69,6 +69,15 @@ type checkpointBody struct {
 	DataFingerprint string `json:"data_fingerprint"`
 	// Model is the partial forest in the Encode format.
 	Model json.RawMessage `json:"model"`
+	// Rank, Workers and PeerFingerprint identify the deployment slot a
+	// distributed rank's checkpoint belongs to (zero/empty on
+	// single-process checkpoints). PeerFingerprint is Config.DistIdentity —
+	// the rank/worker-count/peer-set triple — so a file from a reshaped or
+	// reshuffled deployment is rejected with a precise error even before
+	// the config hash is consulted.
+	Rank            int    `json:"rank,omitempty"`
+	Workers         int    `json:"workers,omitempty"`
+	PeerFingerprint string `json:"peer_fingerprint,omitempty"`
 }
 
 // checkpoint is a decoded, validated checkpoint ready to resume from.
@@ -86,6 +95,19 @@ func (c *Config) checkpointPath() string {
 	return filepath.Join(c.CheckpointDir, CheckpointFile)
 }
 
+// checkpointPath returns this trainer's checkpoint file: the shared
+// train.vckp for single-process runs, a per-rank train-rank<R>.vckp on a
+// distributed cluster (every rank writes its own state; ranks sharing a
+// CheckpointDir — the in-process test meshes do — must not clobber each
+// other).
+func (t *trainer) checkpointPath() string {
+	base := t.cfg.checkpointPath()
+	if base == "" || !t.cl.Distributed() {
+		return base
+	}
+	return filepath.Join(t.cfg.CheckpointDir, fmt.Sprintf("train-rank%d.vckp", t.cl.Rank()))
+}
+
 // configHash digests the fields that determine the trained model's bits:
 // hyper-parameters, quadrant policy and the resolved objective. Timing
 // and observation knobs (network model, callbacks, checkpoint placement
@@ -98,6 +120,11 @@ func (t *trainer) configHash() string {
 		c.LearningRate, c.Lambda, c.Gamma, c.MinChildHess,
 		t.obj.Name(), t.c, c.Aggregation, c.ColumnIndex, c.FullCopy,
 		c.TransformCharge, c.SketchEps, c.Seed, t.w)
+	if c.DistIdentity != "" {
+		// Deployment identity (rank/workers@peers) folds in only when set,
+		// keeping every pre-existing single-process hash unchanged.
+		s += "|dist:" + c.DistIdentity
+	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:8])
 }
@@ -121,6 +148,15 @@ func (t *trainer) datasetFingerprint() string {
 	writeU64(uint64(t.c))
 	for _, y := range t.ds.Labels {
 		writeU32(h, scratch[:4], math.Float32bits(y))
+	}
+	if t.ds.Shard != nil {
+		// A shard materializes only its slice of the image; the backing
+		// cache's fingerprint — identical at every rank — stands in for the
+		// per-row walk, suffixed with the shard axis so a rows shard and a
+		// cols shard of the same image fingerprint differently.
+		h.Write([]byte(t.ds.Shard.Fingerprint))
+		h.Write([]byte(t.ds.Shard.Kind))
+		return fmt.Sprintf("%08x", h.Sum32())
 	}
 	if t.ds.OutOfCore() {
 		// Out-of-core matrices stay on disk; the block source's
@@ -154,12 +190,18 @@ func (t *trainer) saveCheckpoint(path string, forest *tree.Forest, round int) er
 	if err != nil {
 		return fmt.Errorf("core: checkpoint encode: %w", err)
 	}
-	body, err := json.Marshal(checkpointBody{
+	cb := checkpointBody{
 		Round:           round,
 		ConfigHash:      t.ckptConfigHash,
 		DataFingerprint: t.ckptDataFP,
 		Model:           model,
-	})
+	}
+	if t.cl.Distributed() {
+		cb.Rank = t.cl.Rank()
+		cb.Workers = t.w
+		cb.PeerFingerprint = t.cfg.DistIdentity
+	}
+	body, err := json.Marshal(cb)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint encode: %w", err)
 	}
@@ -245,6 +287,16 @@ func (t *trainer) loadCheckpoint(path string) (*checkpoint, error) {
 		return nil, fmt.Errorf("core: checkpoint %s was written for dataset %s but this run ingested %s — data changed (or the ingestion mode differs: a cold parse and a warm .vbin load materialize different bytes); delete the checkpoint or re-ingest the original data the original way",
 			path, cb.DataFingerprint, t.ckptDataFP)
 	}
+	if t.cl.Distributed() {
+		if cb.Workers != t.w || cb.Rank != t.cl.Rank() {
+			return nil, fmt.Errorf("core: checkpoint %s belongs to rank %d of a %d-worker deployment but this process is rank %d of %d; delete the stale checkpoints to retrain from scratch",
+				path, cb.Rank, cb.Workers, t.cl.Rank(), t.w)
+		}
+		if cb.PeerFingerprint != t.cfg.DistIdentity {
+			return nil, fmt.Errorf("core: checkpoint %s was written under deployment %q but this run is %q — the peer set changed; delete the stale checkpoints to retrain from scratch",
+				path, cb.PeerFingerprint, t.cfg.DistIdentity)
+		}
+	}
 	forest, err := tree.DecodeForest(cb.Model)
 	if err != nil {
 		return nil, corrupt("model: %v", err)
@@ -258,6 +310,63 @@ func (t *trainer) loadCheckpoint(path string) (*checkpoint, error) {
 		return nil, corrupt("round %d exceeds configured trees %d", cb.Round, t.cfg.Trees)
 	}
 	return &checkpoint{round: cb.Round, forest: forest}, nil
+}
+
+// loadCheckpointDistributed resumes a distributed run: every rank loads
+// and verifies its own per-rank checkpoint, then the mesh agrees on one
+// common resume round via a min-reduction (an 8-byte all-gather) before
+// any tree is replayed. A rank whose checkpoint is missing, corrupt or
+// mismatched does not error out unilaterally — its peers would block in
+// the agreement collective — it votes for round 0 instead, dragging the
+// whole cluster to a fresh start. The outcome is always uniform: either
+// every rank resumes from the same round (the minimum any rank can
+// replay, forests truncated to match) or every rank starts from scratch;
+// a mixed resume, where ranks disagree on the completed-round count and
+// every subsequent collective desynchronizes, cannot happen.
+func (t *trainer) loadCheckpointDistributed(path string) (*checkpoint, error) {
+	ck, lerr := t.loadCheckpoint(path)
+	if lerr == nil && ck != nil {
+		lerr = t.verifyResume(ck.forest)
+	}
+	if lerr != nil {
+		ck = nil
+	}
+	local := 0
+	if ck != nil {
+		local = ck.round
+	}
+	recs := make([][]byte, t.w)
+	t.cl.ParallelLocal("ckpt.resume", func(w int) {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(local))
+		recs[w] = buf
+	})
+	for w := range recs {
+		if recs[w] == nil {
+			recs[w] = make([]byte, 8)
+		}
+	}
+	t.cl.AllGatherFixed("ckpt.resume", recs)
+	if err := t.cl.Err(); err != nil {
+		return nil, fmt.Errorf("core: distributed resume agreement failed: %w", err)
+	}
+	common := local
+	for _, r := range recs {
+		if v := int(binary.LittleEndian.Uint64(r)); v < common {
+			common = v
+		}
+	}
+	if common == 0 || ck == nil {
+		return nil, nil
+	}
+	if common < ck.round {
+		// A peer checkpointed fewer rounds (it crashed before a later save
+		// landed); replay only the common prefix so every rank regrows the
+		// same trees from the same state.
+		ck.forest.Trees = ck.forest.Trees[:common]
+		ck.round = common
+	}
+	return ck, nil
 }
 
 // verifyResume cross-checks the decoded forest against the freshly

@@ -197,6 +197,12 @@ type Config struct {
 	// docs/ROBUSTNESS.md.
 	CheckpointDir   string
 	CheckpointEvery int
+	// DistIdentity, when non-empty, names this rank's slot in a distributed
+	// deployment (the façade sets "rank/workers@peers-hash"). It folds into
+	// the checkpoint config hash, so a checkpoint written under one
+	// deployment shape is rejected — not silently replayed — under another
+	// (a W=2 checkpoint at W=4, or rank 1's file fed to rank 0).
+	DistIdentity string
 
 	// OnTree, when set, is invoked after each tree with the cumulative
 	// simulated time (measured computation + simulated communication)
@@ -292,23 +298,13 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	if err := validateShard(cl, ds, cfg); err != nil {
+		return nil, err
+	}
 	var sel *Selection
 	if cfg.Quadrant == QuadrantAuto {
 		if cfg, sel, err = resolveAuto(cl, ds, cfg, obj); err != nil {
 			return nil, err
-		}
-	}
-	if cl.Distributed() {
-		// The distributed transport's first version covers in-memory SPMD
-		// training only: every rank loads the dataset and replays the same
-		// collective sequence. Out-of-core streaming and checkpoint
-		// resumption interleave their own per-rank I/O with the schedule
-		// and are not yet wired through the transport.
-		if ds.OutOfCore() {
-			return nil, fmt.Errorf("core: out-of-core training is not supported on a distributed cluster")
-		}
-		if cfg.checkpointPath() != "" {
-			return nil, fmt.Errorf("core: checkpointing is not supported on a distributed cluster")
 		}
 	}
 	t := newTrainer(cl, ds, cfg, obj)
@@ -319,18 +315,27 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 		return nil, err
 	}
 	var ck *checkpoint
-	if path := cfg.checkpointPath(); path != "" {
+	if path := t.checkpointPath(); path != "" {
 		// Fingerprints are derived after auto-quadrant resolution and
 		// preparation so they cover the concrete policy and the binner the
 		// checkpointed trees were grown against.
 		t.ckptConfigHash = t.configHash()
 		t.ckptDataFP = t.datasetFingerprint()
-		if ck, err = t.loadCheckpoint(path); err != nil {
-			return nil, err
-		}
-		if ck != nil {
-			if err := t.verifyResume(ck.forest); err != nil {
+		if cl.Distributed() {
+			// Distributed resume must agree on one round cluster-wide
+			// before replaying anything; a rank with a bad or missing
+			// checkpoint drags the mesh to round 0, never a mixed resume.
+			if ck, err = t.loadCheckpointDistributed(path); err != nil {
 				return nil, err
+			}
+		} else {
+			if ck, err = t.loadCheckpoint(path); err != nil {
+				return nil, err
+			}
+			if ck != nil {
+				if err := t.verifyResume(ck.forest); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -340,6 +345,49 @@ func Train(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) (*Result, erro
 	}
 	res.Selection = sel
 	return res, nil
+}
+
+// validateShard rejects dataset/cluster/config combinations a sharded
+// (partially materialized) dataset cannot serve. A shard only makes sense
+// under the distributed transport — a simulated cluster hosts every
+// worker and would train on a fraction of the data — and its axis must
+// match the quadrant's partitioning so each rank materialized exactly the
+// slice its engine reads.
+func validateShard(cl *cluster.Cluster, ds *datasets.Dataset, cfg Config) error {
+	sh := ds.Shard
+	if sh == nil {
+		return nil
+	}
+	if !cl.Distributed() {
+		return fmt.Errorf("core: dataset is a rank shard (%s %d/%d) but the cluster is simulated; sharded loading needs the distributed transport", sh.Kind, sh.Rank, sh.Workers)
+	}
+	if sh.Workers != cl.Workers() || sh.Rank != cl.Rank() {
+		return fmt.Errorf("core: dataset shard is %d/%d but this process is rank %d of %d", sh.Rank, sh.Workers, cl.Rank(), cl.Workers())
+	}
+	if cfg.Quadrant == QuadrantAuto {
+		// The advisor scores the dataset it is handed; a shard would feed it
+		// rank-local statistics and ranks could resolve different quadrants.
+		return fmt.Errorf("core: auto quadrant selection needs the full dataset; pick a quadrant explicitly for sharded training")
+	}
+	if cfg.FullCopy {
+		return fmt.Errorf("core: FullCopy (feature-parallel) replicates the dataset at every worker and cannot train on a shard")
+	}
+	switch cfg.Quadrant {
+	case QD1, QD2:
+		if sh.Kind != datasets.ShardRows {
+			return fmt.Errorf("core: %v partitions by rows but the dataset is a %s shard", cfg.Quadrant, sh.Kind)
+		}
+	case QD3, QD4:
+		if sh.Kind != datasets.ShardCols {
+			return fmt.Errorf("core: %v partitions by columns but the dataset is a %s shard", cfg.Quadrant, sh.Kind)
+		}
+	}
+	if ds.Prebin == nil || !ds.Prebin.Quantized {
+		// The quantile sketch scans the matrix; a shard holds a fraction of
+		// it, so candidate splits must ride in from the cache image.
+		return fmt.Errorf("core: sharded training needs the cache's candidate splits (a quantized prebin); load shards with ingest.ReadCacheShard")
+	}
+	return nil
 }
 
 // newTrainer assembles an unprepared trainer over the cluster and dataset.

@@ -101,6 +101,12 @@ func (t *trainer) distributedSketch() ([]int64, error) {
 	if pb != nil {
 		return t.adoptPrebin(pb), nil
 	}
+	if t.ds.Shard != nil {
+		// Unreachable through Train (validateShard requires a quantized
+		// prebin), kept as a hard stop for direct callers: sketching a shard
+		// would derive splits from a fraction of the values.
+		return nil, fmt.Errorf("core: cannot sketch candidate splits from a rank shard; load shards with ingest.ReadCacheShard so the cache's splits ride along")
+	}
 	local := make([][]*sketch.GK, t.w)
 	t.cl.Parallel("prep.sketch", func(w int) {
 		sks := make([]*sketch.GK, t.d)

@@ -356,7 +356,10 @@ func (e *horizontalEngine) prepareStreamed() error {
 		e.n2i = make([]*index.NodeToInstance, t.w)
 		e.blocks = make([]*rowBlockBuilder, t.w)
 		cols, emit := allFeatures(t.d)
-		t.cl.Parallel("prep.bin", func(w int) {
+		// ParallelLocal: on a distributed cluster each rank builds only its
+		// hosted worker's index and block builder — the aggregation path
+		// (sumLocalInto) requires the locals' shape to match the hosting.
+		t.cl.ParallelLocal("prep.bin", func(w int) {
 			lo, hi := t.ranges[w][0], t.ranges[w][1]
 			e.n2i[w] = index.NewNodeToInstance(hi - lo)
 			e.blocks[w] = newRowBlockBuilder(t.stream, w, lo, hi, cols, emit)
@@ -365,7 +368,7 @@ func (e *horizontalEngine) prepareStreamed() error {
 		return t.stream.ok()
 	}
 	e.i2n = make([]*index.InstanceToNode, t.w)
-	t.cl.Parallel("prep.bin", func(w int) {
+	t.cl.ParallelLocal("prep.bin", func(w int) {
 		lo, hi := t.ranges[w][0], t.ranges[w][1]
 		e.i2n[w] = index.NewInstanceToNode(hi - lo)
 		dataGauge.Set(w, t.stream.perWorker)
@@ -386,7 +389,7 @@ func (e *horizontalEngine) buildHistogramsStreamedQD2(toBuild []*nodeInfo) {
 	for i := range locals {
 		locals[i] = make([]*histogram.Hist, t.w)
 	}
-	t.cl.Parallel(phaseHist, func(w int) {
+	t.cl.ParallelLocal(phaseHist, func(w int) {
 		base := t.ranges[w][0]
 		insts := make([][]uint32, len(toBuild))
 		pos := make([]int, len(toBuild))
@@ -418,7 +421,9 @@ func (e *horizontalEngine) buildHistogramsStreamedQD2(toBuild []*nodeInfo) {
 	for i, nd := range toBuild {
 		e.aggregate(nd.id, locals[i])
 		for _, h := range locals[i] {
-			t.pool.Put(h)
+			if h != nil { // distributed ranks fill only their hosted slot
+				t.pool.Put(h)
+			}
 		}
 	}
 }
@@ -430,7 +435,7 @@ func (e *horizontalEngine) buildHistogramsStreamedQD2(toBuild []*nodeInfo) {
 // unchanged, so the aggregated histograms are bit-identical.
 func (e *horizontalEngine) buildHistogramsStreamedQD1(toBuild []*nodeInfo, slot []int32, acc []*histogram.Hist, merged []chan struct{}) {
 	t := e.t
-	t.cl.Parallel(phaseHist, func(w int) {
+	t.cl.ParallelLocal(phaseHist, func(w int) {
 		stride := e.layout.FloatsPerSide()
 		ag, ah := e.flatScratch(w, stride*len(toBuild))
 		nodeOf := e.i2n[w].Assignments()
@@ -442,7 +447,9 @@ func (e *horizontalEngine) buildHistogramsStreamedQD1(toBuild []*nodeInfo, slot 
 				histogram.ColumnScanRouted(ag, ah, stride, e.layout, j, insts, bins, nodeOf, slot, t.grads, t.hessv, base)
 			})
 		}
-		if w > 0 {
+		// A distributed rank hosts one worker; its predecessor's channel is
+		// never closed locally (the AllReduce below replaces the chain).
+		if w > 0 && t.cl.HostsWorker(w-1) {
 			<-merged[w-1]
 		}
 		for i := range acc {
@@ -461,7 +468,7 @@ func (e *horizontalEngine) applyLayerStreamed(splits map[int32]resolvedSplit, ch
 	t := e.t
 	t.cl.Broadcast(phaseNode, int64(len(splits))*splitWireBytes)
 	if t.cfg.Quadrant == QD2 {
-		t.cl.Parallel(phaseNode, func(w int) {
+		t.cl.ParallelLocal(phaseNode, func(w int) {
 			base := t.ranges[w][0]
 			for parent, ch := range children {
 				sp := splits[parent]
@@ -476,7 +483,7 @@ func (e *horizontalEngine) applyLayerStreamed(splits map[int32]resolvedSplit, ch
 		})
 		return
 	}
-	t.cl.Parallel(phaseNode, func(w int) {
+	t.cl.ParallelLocal(phaseNode, func(w int) {
 		base := t.ranges[w][0]
 		i2n := e.i2n[w]
 		i2n.SplitLayer(children, func(inst uint32) bool {

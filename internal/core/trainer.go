@@ -135,7 +135,7 @@ func (t *trainer) run(ck *checkpoint) (*Result, error) {
 	res := &Result{Forest: forest, StartRound: start, PrepSeconds: prepComp + prepComm, TransformBytes: t.eng.transformReport()}
 
 	t.sampleHeap()
-	ckptPath := t.cfg.checkpointPath()
+	ckptPath := t.checkpointPath()
 	for ti := start; ti < t.cfg.Trees; ti++ {
 		t.computeGradients()
 		tr := t.trainTree()

@@ -79,7 +79,7 @@ func (e *verticalEngine) prepare() error {
 			e.cw = make([]*index.ColumnWise, t.w)
 		}
 		errs := make([]error, t.w)
-		t.cl.Parallel("prep.bin", func(w int) {
+		binPrep := func(w int) {
 			sub := t.ds.X.SelectColumns(e.groups[w])
 			subBinner := &sparse.Binner{Splits: make([][]float32, len(e.groups[w]))}
 			numBins := make([]int, len(e.groups[w]))
@@ -106,13 +106,26 @@ func (e *verticalEngine) prepare() error {
 				e.cw[w] = index.NewColumnWise(colLens)
 			}
 			dataGauge.Set(w, binnedCSCBytes(e.cols[w])+int64(t.n)*4) // + broadcast labels
-		})
+		}
+		globalNNZ := int64(t.ds.X.NNZ())
+		if sh := t.ds.Shard; sh != nil {
+			// A column shard materialized only this rank's feature group;
+			// build hosted-only (applyLayer broadcasts real placement shards
+			// instead of deriving the full layer locally) and charge the
+			// repartition from the replicated global entry count — the local
+			// NNZ differs per rank, and rank-divergent charges desynchronize
+			// the transport's shadow frames.
+			t.cl.ParallelLocal("prep.bin", binPrep)
+			globalNNZ = sh.GlobalNNZ
+		} else {
+			t.cl.Parallel("prep.bin", binPrep)
+		}
 		if err := cluster.FirstError(errs); err != nil {
 			return err
 		}
 		// Vertical repartition of the raw data, shipped as uncompressed
 		// key-value pairs (QD3 predates Vero's compact transformation).
-		shuffleBytes := int64(t.ds.X.NNZ()) * 12 * int64(t.w-1) / int64(t.w)
+		shuffleBytes := globalNNZ * 12 * int64(t.w-1) / int64(t.w)
 		t.cl.ChargeComm("prep.repartition", cluster.OpShuffle, shuffleBytes, t.commSeconds(shuffleBytes, t.w-1))
 		// Labels are broadcast so every worker can compute gradients.
 		t.cl.Broadcast("prep.labels", int64(t.n)*4)
@@ -163,7 +176,15 @@ func (e *verticalEngine) prepareVero() error {
 	if pb != nil {
 		opts.Splits, opts.FeatCount = pb.Splits, pb.FeatCount
 	}
-	res, err := partition.Transform(t.cl, t.ds.X, t.ds.Labels, opts)
+	var res *partition.Result
+	if sh := t.ds.Shard; sh != nil {
+		// The rank already holds its feature group: build only its own
+		// blockified shard and charge the repartition from the replicated
+		// per-group entry matrix.
+		res, err = partition.TransformSharded(t.cl, t.ds.X, t.ds.Labels, sh, opts)
+	} else {
+		res, err = partition.Transform(t.cl, t.ds.X, t.ds.Labels, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -185,6 +206,12 @@ func (e *verticalEngine) prepareVero() error {
 	e.numBins = make([][]int, t.w)
 	dataGauge := t.cl.Stats().Mem("data")
 	for w := 0; w < t.w; w++ {
+		if e.shards[w] == nil {
+			// Sharded cluster: only the hosted rank's shard was assembled;
+			// the other workers' structures stay nil (every access runs
+			// under ParallelLocal or a nil guard).
+			continue
+		}
 		e.n2i[w] = index.NewNodeToInstance(t.n)
 		e.layout[w] = histogram.Layout{NumFeat: len(e.groups[w]), MaxBins: t.maxBins, NumClass: t.c}
 		e.hist[w] = make(map[int32]*histogram.Hist)
@@ -254,14 +281,22 @@ func (e *verticalEngine) computeGradients() {
 }
 
 func (e *verticalEngine) resetIndexes() {
+	// Nil slots belong to workers this rank does not host (sharded
+	// clusters build hosted-only structures).
 	for _, idx := range e.n2i {
-		idx.Reset()
+		if idx != nil {
+			idx.Reset()
+		}
 	}
 	for _, idx := range e.i2n {
-		idx.Reset()
+		if idx != nil {
+			idx.Reset()
+		}
 	}
 	for _, idx := range e.cw {
-		idx.Reset()
+		if idx != nil {
+			idx.Reset()
+		}
 	}
 }
 
@@ -512,11 +547,16 @@ func (e *verticalEngine) applyLayer(splits map[int32]resolvedSplit, children map
 		return
 	}
 
+	if t.ds.Shard != nil {
+		e.applyLayerSharded(splits, children)
+		return
+	}
+
 	// Each split's owner fills the placement bits for its node; merging
 	// the per-worker bitmaps yields the layer's placement. This stays a
-	// replicated Parallel even on a distributed cluster: the vertical
-	// engines materialize every worker's columns and indexes at every
-	// rank (their prepare loops are replicated), so each rank derives the
+	// replicated Parallel even on a distributed cluster (full-image and
+	// out-of-core datasets): the vertical engines materialize or map every
+	// worker's columns and indexes at every rank, so each rank derives the
 	// full placement locally and only the broadcast's charge — realized
 	// as shadow traffic — touches the wire.
 	parts := make([]*bitmap.Bitmap, t.w)
@@ -543,6 +583,83 @@ func (e *verticalEngine) applyLayer(splits map[int32]resolvedSplit, children map
 
 	goesLeft := func(inst uint32) bool { return placement.Get(int(inst)) }
 	t.cl.Parallel(phaseNode, func(w int) {
+		for parent, ch := range children {
+			e.n2i[w].Split(parent, ch[0], ch[1], goesLeft)
+			if t.cfg.Quadrant == QD3 && t.cfg.ColumnIndex == IndexColumnWise {
+				cols := e.cols[w]
+				e.cw[w].Split(parent, ch[0], ch[1], goesLeft, func(col int, pos uint32) uint32 {
+					insts, _ := cols.Col(col)
+					return insts[pos]
+				})
+			}
+		}
+		if t.cfg.Quadrant == QD3 {
+			e.i2n[w].SplitLayer(children, goesLeft)
+		}
+	})
+}
+
+// applyLayerSharded is applyLayer for a column-sharded cluster: a rank
+// holds only its own feature group, so it can place only the nodes whose
+// split feature it owns. Each rank fills its own placement shard, then
+// every owner of a splitting node broadcasts its shard — a real
+// data-carrying collective, charged against the alpha-beta model — and
+// ranks OR the shards together (each instance is routed by exactly one
+// owner). The merged placement, and hence every index transition, is
+// bit-identical to the replicated path's.
+//
+// Accounting note: each owner sends the whole n-bit bitmap, so a layer
+// with k splitting owners charges k full bitmaps where the replicated
+// path charges the paper's single compacted bitmap (Section 3.1.3: n
+// bits total, each instance's bit carried by its one router). The
+// difference — a few bitmap payloads per run — is real data movement
+// and is charged truthfully, so sharded runs account slightly more than
+// the full-image model while still training the identical bytes.
+func (e *verticalEngine) applyLayerSharded(splits map[int32]resolvedSplit, children map[int32][2]int32) {
+	t := e.t
+	rank := t.cl.Rank()
+	placement := bitmap.New(t.n)
+	t.cl.ParallelLocal(phaseNode, func(w int) {
+		for parent := range children {
+			sp := splits[parent]
+			if e.ownerOf[sp.feature] != int32(w) {
+				continue
+			}
+			e.fillPlacement(w, parent, sp, placement)
+		}
+	})
+	// The layer's owner set derives from the (replicated) resolved splits,
+	// so every rank issues the identical broadcast sequence in ascending
+	// rank order.
+	owners := make([]bool, t.w)
+	for parent := range children {
+		owners[e.ownerOf[splits[parent].feature]] = true
+	}
+	// Snapshot the rank's own shard before merging peers' bits in, so the
+	// broadcast payload is exactly this owner's routing decisions.
+	ownPayload, _ := placement.MarshalBinary()
+	part := bitmap.New(t.n)
+	for w := 0; w < t.w; w++ {
+		if !owners[w] {
+			continue
+		}
+		payload := ownPayload
+		if w != rank {
+			payload = make([]byte, placement.SizeBytes())
+		}
+		t.cl.BroadcastBytes(phaseNode, payload, w)
+		if w != rank {
+			// A transport failure leaves the payload zeroed; the merge stays
+			// well-formed and the trainer aborts at the tree boundary via
+			// cl.Err().
+			if err := part.UnmarshalBinary(payload); err == nil {
+				placement.Or(part)
+			}
+		}
+	}
+
+	goesLeft := func(inst uint32) bool { return placement.Get(int(inst)) }
+	t.cl.ParallelLocal(phaseNode, func(w int) {
 		for parent, ch := range children {
 			e.n2i[w].Split(parent, ch[0], ch[1], goesLeft)
 			if t.cfg.Quadrant == QD3 && t.cfg.ColumnIndex == IndexColumnWise {

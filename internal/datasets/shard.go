@@ -1,0 +1,50 @@
+package datasets
+
+import "hash/crc32"
+
+// ShardKind says which axis of the global image a shard covers.
+type ShardKind string
+
+// Shard axes: horizontal quadrants (QD1/QD2) shard by rows, vertical
+// quadrants (QD3/QD4) by feature columns.
+const (
+	ShardRows ShardKind = "rows"
+	ShardCols ShardKind = "cols"
+)
+
+// Shard describes one rank's slice of a global dataset image. The shard
+// bounds themselves are never stored: they derive deterministically from
+// (Rank, Workers, Kind) — partition.HorizontalRanges for rows,
+// partition.GroupColumnsBalanced for columns — so every rank of a
+// deployment, and a resumed run, reconstructs the identical partition.
+//
+// The dataset's X keeps the global n×d shape with entries materialized
+// only inside the shard, which lets the engines' existing row/column
+// slicing work unchanged; the fields here carry the global quantities a
+// rank can no longer derive from its local entries (communication charges
+// must be computed from replicated state or ranks desynchronize).
+type Shard struct {
+	// Kind is the sharding axis.
+	Kind ShardKind
+	// Rank and Workers identify this shard within the deployment.
+	Rank, Workers int
+	// Fingerprint identifies the backing global image (the .vbin cache's
+	// fingerprint string) — identical at every rank even though each
+	// rank's materialized entries differ, so it backs both the hello
+	// handshake's dataset exchange and checkpoint validation.
+	Fingerprint string
+	// GlobalNNZ is the full image's stored-entry count.
+	GlobalNNZ int64
+	// GroupNNZ, for column shards, is the W×W matrix of entry counts:
+	// GroupNNZ[src][dst] entries fall in horizontal row range src and
+	// belong to feature group dst. It is derived from the cache's column
+	// index alone (identical at every rank) and prices the QD4
+	// transformation without touching remote data.
+	GroupNNZ [][]int64
+}
+
+// FingerprintCRC hashes the shard's image fingerprint into the 32-bit
+// form the transport's hello handshake exchanges.
+func (s *Shard) FingerprintCRC() uint32 {
+	return crc32.Checksum([]byte(s.Fingerprint), crc32.MakeTable(crc32.Castagnoli))
+}

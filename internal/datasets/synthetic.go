@@ -33,6 +33,11 @@ type Dataset struct {
 	// Blocks, when non-nil with X nil, serves the binned matrix from
 	// out-of-core storage; see BlockSource.
 	Blocks BlockSource
+	// Shard, when non-nil, marks this dataset as one rank's shard of a
+	// larger global image: X keeps the global shape but holds entries only
+	// inside the shard's row or column range (labels and candidate splits
+	// stay full — every quadrant needs them). See Shard.
+	Shard *Shard
 }
 
 // NumInstances returns N.

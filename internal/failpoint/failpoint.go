@@ -14,12 +14,17 @@
 //	failpoint.Enable("core.aftertree", "3*error") // fail on the 3rd hit
 //	VERO_FAILPOINTS='core.aftertree=5*exit(3);ingest.readcache=error'
 //
-// A spec is [N*]kind[(arg)]:
+// A spec is [N[-M]*]kind[(arg)]:
 //
 //	error      return ErrInjected from Inject
 //	panic      panic with the point name
 //	exit       os.Exit(3), simulating a hard crash (exit(N) picks the code)
+//	sleep      sleep (sleep(ms) picks the duration, default 10ms), then
+//	           return nil — a delay, not a failure
 //	N*kind     stay dormant for the first N-1 hits, fire from the Nth on
+//	N-M*kind   fire on hits N through M only, then go dormant again — a
+//	           transient fault window (e.g. "1-3*error" on a dial point
+//	           models a drop-then-reconnect)
 //
 // Hit counting is per point and concurrency-safe, so a point inside a
 // worker pool fires deterministically on the Nth evaluation in program
@@ -34,6 +39,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInjected is the error returned by Inject at an armed "error" point.
@@ -50,6 +56,7 @@ const (
 	kindError kind = iota
 	kindPanic
 	kindExit
+	kindSleep
 )
 
 // point is one armed injection point.
@@ -57,6 +64,8 @@ type point struct {
 	mu       sync.Mutex
 	kind     kind
 	after    int // fire on the after-th hit and every one following (1-based)
+	until    int // last firing hit, inclusive; 0 means never go dormant
+	sleep    time.Duration
 	hits     int
 	exitCode int
 }
@@ -147,7 +156,7 @@ func Inject(name string) error {
 	}
 	p.mu.Lock()
 	p.hits++
-	fire := p.hits >= p.after
+	fire := p.hits >= p.after && (p.until == 0 || p.hits <= p.until)
 	p.mu.Unlock()
 	if !fire {
 		return nil
@@ -158,17 +167,28 @@ func Inject(name string) error {
 	case kindExit:
 		fmt.Fprintf(os.Stderr, "failpoint: injected exit(%d) at %s\n", p.exitCode, name)
 		os.Exit(p.exitCode)
+	case kindSleep:
+		time.Sleep(p.sleep)
+		return nil
 	}
 	return fmt.Errorf("%w at %s", ErrInjected, name)
 }
 
-// parseSpec reads "[N*]kind[(arg)]".
+// parseSpec reads "[N[-M]*]kind[(arg)]".
 func parseSpec(spec string) (*point, error) {
-	p := &point{after: 1, exitCode: 3}
+	p := &point{after: 1, exitCode: 3, sleep: 10 * time.Millisecond}
 	rest := spec
 	if n, tail, ok := strings.Cut(rest, "*"); ok {
+		if lo, hi, windowed := strings.Cut(n, "-"); windowed {
+			until, err := strconv.Atoi(hi)
+			if err != nil || until < 1 {
+				return nil, fmt.Errorf("bad trigger window %q in spec %q", n, spec)
+			}
+			p.until = until
+			n = lo
+		}
 		after, err := strconv.Atoi(n)
-		if err != nil || after < 1 {
+		if err != nil || after < 1 || (p.until != 0 && p.until < after) {
 			return nil, fmt.Errorf("bad trigger count %q in spec %q", n, spec)
 		}
 		p.after = after
@@ -196,10 +216,19 @@ func parseSpec(spec string) (*point, error) {
 			}
 			p.exitCode = code
 		}
+	case "sleep":
+		p.kind = kindSleep
+		if arg != "" {
+			ms, err := strconv.Atoi(arg)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("bad sleep duration %q in spec %q", arg, spec)
+			}
+			p.sleep = time.Duration(ms) * time.Millisecond
+		}
 	default:
-		return nil, fmt.Errorf("unknown kind %q in spec %q (want error, panic or exit)", rest, spec)
+		return nil, fmt.Errorf("unknown kind %q in spec %q (want error, panic, exit or sleep)", rest, spec)
 	}
-	if p.kind != kindExit && arg != "" {
+	if p.kind != kindExit && p.kind != kindSleep && arg != "" {
 		return nil, fmt.Errorf("kind %q takes no argument (spec %q)", rest, spec)
 	}
 	return p, nil

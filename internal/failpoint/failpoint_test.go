@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestDisarmedIsNoOp(t *testing.T) {
@@ -86,6 +87,37 @@ func TestTriggerCountConcurrent(t *testing.T) {
 	// 400 hits against a fire-from-100 spec: exactly 99 dormant.
 	if clean != 99 || fired != workers*perWorker-99 {
 		t.Fatalf("clean=%d fired=%d, want 99 and %d", clean, fired, workers*perWorker-99)
+	}
+}
+
+func TestTriggerWindow(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "2-4*error"); err != nil {
+		t.Fatal(err)
+	}
+	for hit := 1; hit <= 6; hit++ {
+		err := Inject("p")
+		inWindow := hit >= 2 && hit <= 4
+		if inWindow && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d did not fire: %v", hit, err)
+		}
+		if !inWindow && err != nil {
+			t.Fatalf("hit %d fired outside the window: %v", hit, err)
+		}
+	}
+}
+
+func TestSleepKind(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "sleep(1)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("sleep kind returned an error: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("sleep kind did not sleep")
 	}
 }
 

@@ -1,0 +1,185 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+
+	"vero/internal/datasets"
+	"vero/internal/partition"
+	"vero/internal/sparse"
+)
+
+// shardChunk bounds the scratch of one shard-materialization read, so
+// loading a shard never stages more than a fixed slice of the entry
+// sections no matter how large the cache is.
+const shardChunk = 32 << 10
+
+// ReadCacheShard opens a .vbin cache and materializes only rank's shard
+// of it: the rank's row range (ShardRows, horizontal quadrants) or its
+// balanced feature group (ShardCols, vertical quadrants). The shard
+// bounds derive deterministically from (rank, workers, kind) via
+// partition.HorizontalRanges / partition.GroupColumnsBalanced, so every
+// rank of a deployment carves the same image identically.
+//
+// The returned dataset keeps the global n×d shape — X holds entries only
+// inside the shard, while labels and the quantized Prebin stay full (the
+// objective's init score and every engine's split tables need them) — and
+// carries a datasets.Shard describing the slice, including the global
+// entry counts communication charges must be derived from. Reads go
+// through the mapped view, so only the shard's pages (plus the metadata
+// and a binary-search trail) are ever touched: a rank materializes
+// O(nnz/W) entries of an image no single rank could hold.
+func ReadCacheShard(path string, kind datasets.ShardKind, rank, workers int) (*datasets.Dataset, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("ingest: shard load: worker count %d", workers)
+	}
+	if rank < 0 || rank >= workers {
+		return nil, fmt.Errorf("ingest: shard load: rank %d outside deployment of %d", rank, workers)
+	}
+	if kind != datasets.ShardRows && kind != datasets.ShardCols {
+		return nil, fmt.Errorf("ingest: shard load: unknown shard kind %q", kind)
+	}
+	m, err := MapCacheFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	return shardFromView(m, kind, rank, workers)
+}
+
+// shardFromView materializes one rank's shard from an open cache view.
+func shardFromView(m *MappedCache, kind datasets.ShardKind, rank, workers int) (*datasets.Dataset, error) {
+	rows, cols := m.Rows(), m.Cols()
+	ranges := partition.HorizontalRanges(rows, workers)
+
+	// Per-column selected entry range [sel[j], sel[j+1]) in global entry
+	// space; empty for columns (or row spans) outside the shard.
+	selLo := make([]int64, cols)
+	selHi := make([]int64, cols)
+	shard := &datasets.Shard{
+		Kind:        kind,
+		Rank:        rank,
+		Workers:     workers,
+		Fingerprint: m.Fingerprint(),
+		GlobalNNZ:   m.NNZ(),
+	}
+	switch kind {
+	case datasets.ShardRows:
+		rlo, rhi := ranges[rank][0], ranges[rank][1]
+		for j := 0; j < cols; j++ {
+			glo, ghi := m.ColRange(j)
+			lo, err := m.SearchInst(glo, ghi, uint32(rlo))
+			if err != nil {
+				return nil, err
+			}
+			hi := ghi
+			if rhi < rows {
+				if hi, err = m.SearchInst(lo, ghi, uint32(rhi)); err != nil {
+					return nil, err
+				}
+			}
+			selLo[j], selHi[j] = lo, hi
+		}
+	case datasets.ShardCols:
+		groups := partition.GroupColumnsBalanced(m.featCount, workers)
+		for _, f := range groups[rank] {
+			selLo[f], selHi[f] = m.ColRange(f)
+		}
+		groupOf := make([]int, cols)
+		for g, feats := range groups {
+			for _, f := range feats {
+				groupOf[f] = g
+			}
+		}
+		// GroupNNZ[src][dst]: entries in horizontal range src belonging to
+		// feature group dst — the charge matrix of the QD4 transformation,
+		// derived from the column index alone so every rank computes the
+		// identical volumes without touching remote shards.
+		gnnz := make([][]int64, workers)
+		for s := range gnnz {
+			gnnz[s] = make([]int64, workers)
+		}
+		for f := 0; f < cols; f++ {
+			glo, ghi := m.ColRange(f)
+			pos := glo
+			for s := 0; s < workers; s++ {
+				hi := ghi
+				if ranges[s][1] < rows {
+					var err error
+					if hi, err = m.SearchInst(pos, ghi, uint32(ranges[s][1])); err != nil {
+						return nil, err
+					}
+				}
+				gnnz[s][groupOf[f]] += hi - pos
+				pos = hi
+			}
+		}
+		shard.GroupNNZ = gnnz
+	}
+
+	// Count pass: per-row entry tallies of the selected ranges.
+	instBuf := make([]uint32, shardChunk)
+	binBuf := make([]uint16, shardChunk)
+	rowCnt := make([]int64, rows+1)
+	var localNNZ int64
+	for j := 0; j < cols; j++ {
+		for lo, hi := selLo[j], selHi[j]; lo < hi; {
+			n := min(hi-lo, shardChunk)
+			insts, _, err := m.Entries(lo, lo+n, instBuf, binBuf)
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range insts {
+				rowCnt[i+1]++
+			}
+			localNNZ += n
+			lo += n
+		}
+	}
+	rowPtr := make([]int64, rows+1)
+	for i := 0; i < rows; i++ {
+		rowPtr[i+1] = rowPtr[i] + rowCnt[i+1]
+	}
+
+	// Fill pass: columns ascending, instances ascending within a column —
+	// the same transposition ReadCache performs, so values come out in the
+	// identical order and bit pattern (bin representatives; NaN for
+	// features binned without splits).
+	feat := make([]uint32, localNNZ)
+	val := make([]float32, localNNZ)
+	next := make([]int64, rows)
+	copy(next, rowPtr[:rows])
+	nan := float32(math.NaN())
+	for j := 0; j < cols; j++ {
+		s := m.splits[j]
+		for lo, hi := selLo[j], selHi[j]; lo < hi; {
+			n := min(hi-lo, shardChunk)
+			insts, bins, err := m.Entries(lo, lo+n, instBuf, binBuf)
+			if err != nil {
+				return nil, err
+			}
+			for k, i := range insts {
+				p := next[i]
+				feat[p] = uint32(j)
+				if int(bins[k]) < len(s) {
+					val[p] = s[bins[k]]
+				} else if len(s) == 0 && bins[k] == 0 {
+					val[p] = nan
+				} else {
+					return nil, corruptf("bin %d of feature %d out of range (%d bins)", bins[k], j, len(s))
+				}
+				next[i] = p + 1
+			}
+			lo += n
+		}
+	}
+	x, err := sparse.NewCSR(rows, cols, rowPtr, feat, val)
+	if err != nil {
+		return nil, corruptf("%v", err)
+	}
+	ds := m.Dataset()
+	ds.X = x
+	ds.Blocks = nil
+	ds.Shard = shard
+	return ds, nil
+}

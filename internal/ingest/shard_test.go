@@ -1,0 +1,219 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vero/internal/datasets"
+	"vero/internal/partition"
+)
+
+// writeShardCache ingests a synthetic dataset and writes it as a .vbin
+// cache, returning the cache path and the fully materialized reference
+// image every shard is checked against.
+func writeShardCache(t *testing.T, n, d int, seed int64) (string, *datasets.Dataset) {
+	t.Helper()
+	_, text := sampleLibSVM(t, n, d, 2, seed)
+	ds, err := Ingest(strings.NewReader(text), Options{NumClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "train.vbin")
+	if err := WriteCacheFile(path, ds, ds.Prebin); err != nil {
+		t.Fatal(err)
+	}
+	full, err := ReadCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, full
+}
+
+// TestShardPartitionProperty is the shard-boundary property test: for a
+// sweep of worker counts over shapes that stress the boundaries — ragged
+// row counts that don't divide evenly, fewer rows than workers (empty
+// shards), a single feature column (all but one column group empty) —
+// the W shards of a cache must form an exact partition of the full
+// image: every entry lands in exactly one shard, bit-identical to the
+// full load, with global shape, labels and quantization replicated.
+func TestShardPartitionProperty(t *testing.T) {
+	shapes := []struct {
+		name string
+		n, d int
+	}{
+		{"ragged", 103, 17},
+		{"tiny-rows", 5, 6},
+		{"single-feature", 60, 1},
+	}
+	for _, sh := range shapes {
+		path, full := writeShardCache(t, sh.n, sh.d, int64(sh.n+sh.d))
+		for _, w := range []int{1, 2, 3, 5, 8} {
+			for _, kind := range []datasets.ShardKind{datasets.ShardRows, datasets.ShardCols} {
+				t.Run(fmt.Sprintf("%s/w%d/%s", sh.name, w, kind), func(t *testing.T) {
+					checkShardPartition(t, path, full, kind, w)
+				})
+			}
+		}
+	}
+}
+
+func checkShardPartition(t *testing.T, path string, full *datasets.Dataset, kind datasets.ShardKind, w int) {
+	t.Helper()
+	rows, cols := full.NumInstances(), full.NumFeatures()
+	ranges := partition.HorizontalRanges(rows, w)
+	groups := partition.GroupColumnsBalanced(full.Prebin.FeatCount, w)
+	groupOf := make([]int, cols)
+	for g, feats := range groups {
+		for _, f := range feats {
+			groupOf[f] = g
+		}
+	}
+	ownerOf := func(row int, feat uint32) int {
+		if kind == datasets.ShardRows {
+			for r, rg := range ranges {
+				if row >= rg[0] && row < rg[1] {
+					return r
+				}
+			}
+			t.Fatalf("row %d outside every range %v", row, ranges)
+		}
+		return groupOf[feat]
+	}
+
+	shards := make([]*datasets.Dataset, w)
+	var shardNNZ int64
+	for rank := 0; rank < w; rank++ {
+		ds, err := ReadCacheShard(path, kind, rank, w)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		shards[rank] = ds
+		shardNNZ += int64(ds.X.NNZ())
+
+		// Global shape and replicated state survive sharding.
+		if ds.NumInstances() != rows || ds.NumFeatures() != cols {
+			t.Fatalf("rank %d: shape %dx%d, want %dx%d", rank, ds.NumInstances(), ds.NumFeatures(), rows, cols)
+		}
+		if !reflect.DeepEqual(ds.Labels, full.Labels) {
+			t.Fatalf("rank %d: labels differ from full image", rank)
+		}
+		if !reflect.DeepEqual(ds.Prebin.Splits, full.Prebin.Splits) {
+			t.Fatalf("rank %d: prebin splits differ from full image", rank)
+		}
+		s := ds.Shard
+		if s == nil || s.Kind != kind || s.Rank != rank || s.Workers != w {
+			t.Fatalf("rank %d: shard meta %+v", rank, s)
+		}
+		if s.Fingerprint == "" || s.Fingerprint != shards[0].Shard.Fingerprint {
+			t.Fatalf("rank %d: fingerprint %q disagrees with rank 0's %q", rank, s.Fingerprint, shards[0].Shard.Fingerprint)
+		}
+		if s.GlobalNNZ != int64(full.X.NNZ()) {
+			t.Fatalf("rank %d: GlobalNNZ %d, want %d", rank, s.GlobalNNZ, int64(full.X.NNZ()))
+		}
+
+		// No foreign entries: everything materialized belongs to this rank.
+		for i := 0; i < rows; i++ {
+			feat, _ := ds.X.Row(i)
+			for _, f := range feat {
+				if got := ownerOf(i, f); got != rank {
+					t.Fatalf("rank %d holds entry (%d,%d) owned by rank %d", rank, i, f, got)
+				}
+			}
+		}
+
+		if kind == datasets.ShardCols {
+			gnnz := s.GroupNNZ
+			if len(gnnz) != w {
+				t.Fatalf("rank %d: GroupNNZ is %dx?, want %dx%d", rank, len(gnnz), w, w)
+			}
+			var sum int64
+			for _, row := range gnnz {
+				for _, c := range row {
+					sum += c
+				}
+			}
+			if sum != int64(full.X.NNZ()) {
+				t.Fatalf("rank %d: GroupNNZ sums to %d, want the image's %d", rank, sum, int64(full.X.NNZ()))
+			}
+			if !reflect.DeepEqual(gnnz, shards[0].Shard.GroupNNZ) {
+				t.Fatalf("rank %d: GroupNNZ disagrees with rank 0's", rank)
+			}
+		}
+	}
+
+	// Exact cover: every full-image entry is present in its owner's shard
+	// with the identical bit pattern, and the shard NNZs sum to the global
+	// count, so with no-foreign-entries above the shards partition the
+	// image exactly — no loss, no duplication, no drift.
+	if shardNNZ != int64(full.X.NNZ()) {
+		t.Fatalf("shards hold %d entries in total, want %d", shardNNZ, int64(full.X.NNZ()))
+	}
+	for i := 0; i < rows; i++ {
+		feat, val := full.X.Row(i)
+		for k, f := range feat {
+			owner := shards[ownerOf(i, f)]
+			sf, sv := owner.X.Row(i)
+			found := false
+			for j, g := range sf {
+				if g == f {
+					if math.Float32bits(sv[j]) != math.Float32bits(val[k]) {
+						t.Fatalf("entry (%d,%d): shard value %v, full image %v", i, f, sv[j], val[k])
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("entry (%d,%d) missing from its owner's shard", i, f)
+			}
+		}
+	}
+}
+
+// TestShardEmptyShards pins the W>rows edge: the trailing ranks get
+// zero-row (or zero-column) shards that must still load cleanly with the
+// global shape and replicated metadata, because a deployment larger than
+// the data is legal, just wasteful.
+func TestShardEmptyShards(t *testing.T) {
+	path, full := writeShardCache(t, 3, 2, 7)
+	for _, kind := range []datasets.ShardKind{datasets.ShardRows, datasets.ShardCols} {
+		const w = 8
+		for rank := 0; rank < w; rank++ {
+			ds, err := ReadCacheShard(path, kind, rank, w)
+			if err != nil {
+				t.Fatalf("%s rank %d: %v", kind, rank, err)
+			}
+			if ds.NumInstances() != full.NumInstances() || ds.NumFeatures() != full.NumFeatures() {
+				t.Fatalf("%s rank %d: global shape lost on an empty shard", kind, rank)
+			}
+		}
+	}
+}
+
+// TestShardRejections covers the argument validation of ReadCacheShard.
+func TestShardRejections(t *testing.T) {
+	path, _ := writeShardCache(t, 10, 3, 5)
+	cases := []struct {
+		name          string
+		kind          datasets.ShardKind
+		rank, workers int
+		want          string
+	}{
+		{"zero-workers", datasets.ShardRows, 0, 0, "worker count"},
+		{"negative-rank", datasets.ShardRows, -1, 2, "outside deployment"},
+		{"rank-beyond", datasets.ShardCols, 2, 2, "outside deployment"},
+		{"bad-kind", datasets.ShardKind("diagonal"), 0, 2, "unknown shard kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCacheShard(path, tc.kind, tc.rank, tc.workers)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}

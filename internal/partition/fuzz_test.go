@@ -1,0 +1,95 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzShardBounds fuzzes the two shard-bound derivations every rank of a
+// deployment runs independently: whatever (n, w, feature histogram)
+// arrive, HorizontalRanges must tile [0, n) contiguously with no gap or
+// overlap, and GroupColumnsBalanced must place every feature in exactly
+// one group and do so deterministically — the properties the sharded
+// loader's "every rank carves the same image identically" contract
+// reduces to.
+func FuzzShardBounds(f *testing.F) {
+	f.Add(uint16(10), uint8(3), int64(1))
+	f.Add(uint16(0), uint8(1), int64(2))   // empty image
+	f.Add(uint16(3), uint8(16), int64(3))  // more workers than rows
+	f.Add(uint16(1), uint8(8), int64(4))   // single row, single feature
+	f.Add(uint16(999), uint8(7), int64(5)) // ragged division
+	f.Fuzz(func(t *testing.T, nRaw uint16, wRaw uint8, seed int64) {
+		n := int(nRaw % 2048)
+		w := int(wRaw%32) + 1
+
+		ranges := HorizontalRanges(n, w)
+		if len(ranges) != w {
+			t.Fatalf("n=%d w=%d: %d ranges", n, w, len(ranges))
+		}
+		next := 0
+		for r, rg := range ranges {
+			if rg[0] != next || rg[1] < rg[0] {
+				t.Fatalf("n=%d w=%d: range %d = %v breaks contiguity at %d", n, w, r, rg, next)
+			}
+			next = rg[1]
+		}
+		if next != n {
+			t.Fatalf("n=%d w=%d: ranges end at %d", n, w, next)
+		}
+
+		// Feature histogram with a mix of zero, small and heavy counts —
+		// the shapes that stress the greedy balancer's tie-breaking.
+		d := n%64 + 1
+		rng := rand.New(rand.NewSource(seed))
+		counts := make([]int64, d)
+		for i := range counts {
+			switch rng.Intn(3) {
+			case 0: // feature absent from the data
+			case 1:
+				counts[i] = int64(rng.Intn(10))
+			default:
+				counts[i] = int64(rng.Intn(100000))
+			}
+		}
+		groups := GroupColumnsBalanced(counts, w)
+		if len(groups) != w {
+			t.Fatalf("d=%d w=%d: %d groups", d, w, len(groups))
+		}
+		seen := make([]bool, d)
+		for _, g := range groups {
+			for i := 1; i < len(g); i++ {
+				if g[i] <= g[i-1] {
+					t.Fatalf("group %v not strictly sorted", g)
+				}
+			}
+			for _, feat := range g {
+				if feat < 0 || feat >= d {
+					t.Fatalf("feature %d outside [0,%d)", feat, d)
+				}
+				if seen[feat] {
+					t.Fatalf("feature %d in two groups", feat)
+				}
+				seen[feat] = true
+			}
+		}
+		for feat, ok := range seen {
+			if !ok {
+				t.Fatalf("feature %d in no group", feat)
+			}
+		}
+
+		// Determinism: a second derivation from the same inputs must agree
+		// bound for bound, or ranks desynchronize.
+		again := GroupColumnsBalanced(counts, w)
+		for g := range groups {
+			if len(groups[g]) != len(again[g]) {
+				t.Fatalf("group %d sized %d then %d", g, len(groups[g]), len(again[g]))
+			}
+			for i := range groups[g] {
+				if groups[g][i] != again[g][i] {
+					t.Fatalf("group %d position %d: %d then %d", g, i, groups[g][i], again[g][i])
+				}
+			}
+		}
+	})
+}

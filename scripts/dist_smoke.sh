@@ -72,4 +72,51 @@ grep -q "aborted during round" "$DIR/fault0.log" \
 [ -f "$DIR/faulted0.json" ] && fail "model written despite injected write failures"
 echo "   aborted with: $(tail -1 "$DIR/fault0.log")"
 
+echo "== SIGKILL one rank mid-run, restart the deployment, resume from checkpoints"
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers 2 -model "$DIR/sim2.json" >"$DIR/sim2.log" \
+  || fail "2-worker simulated reference failed" "$DIR/sim2.log"
+
+CKPT="$DIR/ckpt"
+BASE=$(( (RANDOM % 20000) + 20000 ))
+PEERS="127.0.0.1:$BASE,127.0.0.1:$((BASE+1))"
+set +e
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 1 \
+  -checkpoint-dir "$CKPT" -checkpoint-every 4 \
+  -model "$DIR/crash1.json" >"$DIR/crash1.log" 2>&1 & PIDK=$!
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 0 \
+  -checkpoint-dir "$CKPT" -checkpoint-every 4 \
+  -model "$DIR/crash0.json" >"$DIR/crash0.log" 2>&1 & PID0=$!
+# Kill rank 1 the moment its first checkpoint lands, so the deployment
+# dies mid-training with resumable state on disk.
+for _ in $(seq 1 600); do
+  [ -f "$CKPT/train-rank1.vckp" ] && break
+  kill -0 "$PIDK" 2>/dev/null || break
+  sleep 0.05
+done
+[ -f "$CKPT/train-rank1.vckp" ] || fail "rank 1 never checkpointed" "$DIR/crash1.log"
+kill -9 "$PIDK"
+wait "$PIDK" 2>/dev/null
+wait "$PID0"
+STATUS0=$?
+set -e
+[ "$STATUS0" -ne 0 ] || fail "rank 0 survived its peer's SIGKILL" "$DIR/crash0.log"
+[ -f "$CKPT/train-rank0.vckp" ] || fail "rank 0 aborted without leaving its checkpoint" "$DIR/crash0.log"
+[ -f "$DIR/crash0.json" ] && fail "model written despite the crashed deployment"
+
+BASE=$(( (RANDOM % 20000) + 20000 ))
+PEERS="127.0.0.1:$BASE,127.0.0.1:$((BASE+1))"
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 1 \
+  -checkpoint-dir "$CKPT" -checkpoint-every 4 \
+  -model "$DIR/resume1.json" >"$DIR/resume1.log" 2>&1 & PIDR=$!
+"$DIR/veroctl" train "${TRAIN_ARGS[@]}" -workers "$PEERS" -rank 0 \
+  -checkpoint-dir "$CKPT" -checkpoint-every 4 \
+  -model "$DIR/resume0.json" >"$DIR/resume0.log" 2>&1 \
+  || fail "resumed rank 0 failed" "$DIR/resume0.log" "$DIR/resume1.log"
+wait "$PIDR" || fail "resumed rank 1 failed" "$DIR/resume1.log"
+grep -q "resumed from checkpoint at round" "$DIR/resume0.log" \
+  || fail "restarted deployment trained from scratch instead of resuming" "$DIR/resume0.log"
+cmp -s "$DIR/sim2.json" "$DIR/resume0.json" \
+  || fail "resumed model differs from the uninterrupted reference" "$DIR/sim2.log" "$DIR/resume0.log"
+echo "   $(grep 'resumed from checkpoint' "$DIR/resume0.log"); model byte-identical"
+
 echo "dist smoke OK"
